@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or one
+of the DESIGN.md ablations), prints the paper-style rows, and attaches
+them to pytest-benchmark's ``extra_info`` so they land in the JSON
+output as well.  Simulated results are deterministic, so each benchmark
+runs its workload exactly once (``rounds=1``) — the interesting numbers
+are the simulated seconds/Joules, not the host's wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.report import format_table
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run a deterministic experiment once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(benchmark, title: str, headers: Sequence[str],
+         rows: Sequence[Sequence[Any]], **extra: Any) -> None:
+    """Print the regenerated table and attach it to the benchmark."""
+    text = format_table(headers, rows, title=title)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    for key, value in extra.items():
+        print(f"{key}: {value}")
+        benchmark.extra_info[key] = value

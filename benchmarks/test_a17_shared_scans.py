@@ -1,0 +1,93 @@
+"""A17 (§5.2): work sharing across queries — cooperative scans.
+
+"Techniques that enable and encourage work sharing across queries will
+become increasingly attractive."  N concurrent aggregation queries over
+the same fact table run once with independent physical passes and once
+with a cooperative shared pass (one leader drives the I/O, the others
+piggyback).  Sharing collapses N table reads into one, cutting both
+makespan and Joules — and the saving grows with the batch size.
+"""
+
+from conftest import emit, run_once
+
+from repro.hardware.profiles import commodity
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import col
+from repro.relational.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    TableScan,
+)
+from repro.relational.shared import SharedScanSession, run_independently
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+BATCH_SIZES = [2, 4, 8]
+SCALE = 500.0
+
+
+def build_env():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("facts", [
+            Column("k", DataType.INT64, nullable=False),
+            Column("grp", DataType.INT64, nullable=False),
+            Column("v", DataType.FLOAT64, nullable=False),
+        ]), layout="row", placement=array)
+    table.load([(i, i % 11, float(i % 233)) for i in range(4000)])
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=SCALE))
+    return sim, server, table, executor
+
+
+def builders(table, n):
+    out = []
+    for i in range(n):
+        def make(i=i):
+            return HashAggregate(
+                Filter(TableScan(table), col("grp") == i % 11),
+                [], [AggregateSpec("sum", col("v"), "s")])
+        out.append(make)
+    return out
+
+
+def run_pair(n):
+    sim, server, table, executor = build_env()
+    run_independently(executor, builders(table, n))
+    indep = (sim.now, server.meter.energy_joules(0.0, sim.now))
+    sim, server, table, executor = build_env()
+    SharedScanSession(executor).run_batch(builders(table, n))
+    shared = (sim.now, server.meter.energy_joules(0.0, sim.now))
+    return indep, shared
+
+
+def sweep():
+    return {n: run_pair(n) for n in BATCH_SIZES}
+
+
+def test_shared_scans_scale_with_batch_size(benchmark):
+    results = run_once(benchmark, sweep)
+    rows = []
+    for n, ((it, ie), (st, se)) in results.items():
+        rows.append((n, round(it, 2), round(st, 2),
+                     round(ie, 1), round(se, 1),
+                     round(ie / se, 2)))
+    emit(benchmark,
+         "A17: independent vs cooperative scans, N concurrent queries "
+         "(§5.2)",
+         ["batch", "indep_s", "shared_s", "indep_J", "shared_J",
+          "energy_saving_x"], rows)
+    savings = []
+    for n, ((it, ie), (st, se)) in results.items():
+        assert st < it            # sharing is faster
+        assert se < ie            # and cheaper
+        savings.append(ie / se)
+    # the energy saving factor grows with batch size
+    assert savings == sorted(savings)
+    # at batch 8 the saving approaches the I/O share of the workload
+    assert savings[-1] > 2.0

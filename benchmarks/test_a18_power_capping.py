@@ -1,0 +1,98 @@
+"""A18 (§2.2): running a query mix under a provisioned power cap.
+
+"Racks in data centers are provisioned to deliver a certain capacity in
+order to properly power and cool the servers" — software must keep the
+box under its provisioned share.  The capped scheduler sweeps the cap
+from generous to tight over a CPU-heavy batch: peak draw tracks the
+cap, queueing delay grows as the cap tightens, and every query still
+completes.
+"""
+
+from conftest import emit, run_once
+
+from repro.consolidation.capping import PowerCappedScheduler
+from repro.hardware.profiles import commodity
+from repro.optimizer import CostModel
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import col
+from repro.relational.operators import (
+    CostParameters,
+    Exchange,
+    Filter,
+    TableScan,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+CAPS = [200.0, 140.0, 110.0, 90.0]
+N_QUERIES = 6
+SCALE = 300.0
+PARAMS = CostParameters(cycles_per_scan_byte=800.0)  # CPU-heavy mix
+
+
+def build_env():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("facts", [
+            Column("k", DataType.INT64, nullable=False),
+            Column("grp", DataType.INT64, nullable=False),
+            Column("v", DataType.FLOAT64, nullable=False),
+        ]), layout="row", placement=array)
+    table.load([(i, i % 7, float(i % 131)) for i in range(4000)])
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=SCALE, params=PARAMS))
+    model = CostModel(server, scale=SCALE, params=PARAMS)
+    return executor, model, table
+
+
+def builders(table):
+    out = []
+    for i in range(N_QUERIES):
+        def make(i=i):
+            return Exchange(Filter(TableScan(table),
+                                   col("grp") == i % 7), 2)
+        out.append(make)
+    return out
+
+
+def sweep():
+    reports = []
+    for cap in CAPS:
+        executor, model, table = build_env()
+        scheduler = PowerCappedScheduler(executor, model, cap_watts=cap)
+        reports.append(scheduler.run_batch(builders(table)))
+    return reports
+
+
+def test_power_cap_is_respected_across_the_sweep(benchmark):
+    reports = run_once(benchmark, sweep)
+    emit(benchmark,
+         "A18: query batch under provisioned power caps (§2.2)",
+         ["cap_W", "peak_W", "makespan_s", "mean_queue_s", "energy_J"],
+         [(r.cap_watts, round(r.peak_power_watts, 1),
+           round(r.makespan_seconds, 2),
+           round(r.mean_queue_delay_seconds, 3),
+           round(r.energy_joules, 1)) for r in reports])
+    # every cap: all queries complete and the cap holds (small slack
+    # for unmodeled DRAM activity)
+    for report in reports:
+        assert report.completed == N_QUERIES
+        assert report.peak_power_watts <= report.cap_watts * 1.1
+    # peak draw falls (weakly, within measurement noise) as the cap
+    # tightens
+    peaks = [r.peak_power_watts for r in reports]
+    for looser, tighter in zip(peaks, peaks[1:]):
+        assert tighter <= looser + 0.5
+    # the tightest cap queues markedly longer than the loosest
+    # (intermediate points can wobble: throttling also removes
+    # device contention, which shortens service times)
+    assert reports[-1].mean_queue_delay_seconds > \
+        1.5 * reports[0].mean_queue_delay_seconds
+    # and the generous cap really does draw more at peak than the
+    # tightest one
+    assert reports[0].peak_power_watts > \
+        1.15 * reports[-1].peak_power_watts

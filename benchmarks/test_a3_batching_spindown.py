@@ -1,0 +1,79 @@
+"""A3 (§4.2): batching queries to lengthen disk idle periods.
+
+"Workload management policies that encourage identifiable periods of
+low and high activity — perhaps batching requests at the cost of
+increased latency."  Sparse arrivals are run FIFO (disks spin the whole
+time) and batched with spin-down between batches; energy falls, latency
+rises.
+"""
+
+from conftest import emit, run_once
+
+from repro.consolidation import poisson_arrivals, run_batched, run_fifo
+from repro.hardware.profiles import commodity
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.operators import TableScan
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+WINDOWS = [60.0, 120.0, 240.0]
+
+
+def build():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("t", [Column("k", DataType.INT64, nullable=False)]),
+        layout="row", placement=array)
+    table.load([(i,) for i in range(2000)])
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=200.0))
+    arrivals = poisson_arrivals([lambda: TableScan(table)], 12,
+                                rate_per_s=1 / 45.0)
+    horizon = max(a.at_seconds for a in arrivals) + 300.0
+    return sim, server, array, executor, arrivals, horizon
+
+
+def sweep():
+    results = []
+    sim, server, _array, executor, arrivals, horizon = build()
+    fifo = run_fifo(sim, server, executor, arrivals,
+                    tail_seconds=horizon - sim.now)
+    results.append(("fifo", fifo))
+    for window in WINDOWS:
+        sim, server, array, executor, arrivals, horizon = build()
+        report = run_batched(sim, server, executor, arrivals, array,
+                             window_seconds=window,
+                             tail_seconds=horizon - sim.now)
+        results.append((f"batch-{window:.0f}s", report))
+    return results
+
+
+def test_batching_trades_latency_for_energy(benchmark):
+    results = run_once(benchmark, sweep)
+    emit(benchmark,
+         "A3: FIFO vs batched execution with spin-down (§4.2)",
+         ["policy", "energy_J", "mean_latency_s", "max_latency_s",
+          "spin_downs"],
+         [(name, round(r.energy_joules, 0),
+           round(r.mean_latency_seconds, 2),
+           round(r.max_latency_seconds, 2), r.spin_down_count)
+          for name, r in results])
+    fifo = results[0][1]
+    batched = {name: r for name, r in results[1:]}
+    # every batching window beats FIFO on energy over the same horizon
+    for report in batched.values():
+        assert report.energy_joules < fifo.energy_joules
+        assert report.mean_latency_seconds > fifo.mean_latency_seconds
+        assert report.spin_down_count >= 1
+    # wider windows batch more: fewer spin-down cycles
+    spin_downs = [batched[f"batch-{w:.0f}s"].spin_down_count
+                  for w in WINDOWS]
+    assert spin_downs == sorted(spin_downs, reverse=True)
+    # and latency grows with the window
+    latencies = [batched[f"batch-{w:.0f}s"].mean_latency_seconds
+                 for w in WINDOWS]
+    assert latencies == sorted(latencies)

@@ -1,0 +1,70 @@
+"""A4 (§4.2): consolidate data onto fewer spindles, spin down the rest.
+
+"Buffer and storage management policies that move data across memory
+and disks to consolidate space-shared resources ... enable powering
+down unused hardware at the expense of data movement."  The partitioner
+packs partitions onto the fewest disks whose bandwidth covers the load;
+the migration executor performs the moves and meters them; the plan
+pays for itself once the idle period exceeds the break-even.
+"""
+
+from conftest import emit, run_once
+
+from repro.consolidation import execute_consolidation
+from repro.hardware.profiles import commodity
+from repro.sim import Simulation
+from repro.storage.partitioner import DeviceSlot, Partition, Partitioner
+from repro.units import MB
+
+
+def run_experiment():
+    sim = Simulation()
+    server, _array = commodity(sim, n_disks=6)
+    disks = {d.name: d for d in server.storage if d.name.startswith("hdd")}
+    slots = [DeviceSlot(name, d.spec.capacity_bytes,
+                        d.spec.bandwidth_bytes_per_s,
+                        d.spec.idle_watts, d.spec.active_watts)
+             for name, d in disks.items()]
+    # six lukewarm partitions, one per disk; all fit on two disks
+    parts = [Partition(f"p{i}", 400 * MB, read_bytes_per_s=20 * MB)
+             for i in range(6)]
+    current = {f"p{i}": f"hdd{i}" for i in range(6)}
+    plan = Partitioner(slots).plan_consolidation(parts, current)
+    outcome = execute_consolidation(sim, plan, disks)
+
+    # after migrating, idle through a quiet period and meter the savings
+    idle_horizon = 4 * outcome.breakeven_seconds()
+    t_mig_end = sim.now
+    sim.run(until=t_mig_end + idle_horizon)
+    consolidated_idle = sum(
+        d.energy_joules(t_mig_end, sim.now) for d in disks.values())
+    baseline_idle = sum(d.spec.idle_watts for d in disks.values()) \
+        * idle_horizon
+    return plan, outcome, consolidated_idle, baseline_idle, idle_horizon
+
+
+def test_consolidation_pays_off_past_breakeven(benchmark):
+    plan, outcome, consolidated, baseline, horizon = \
+        run_once(benchmark, run_experiment)
+    net = (baseline - consolidated) - outcome.migration_energy_joules
+    emit(benchmark,
+         "A4: pack partitions, spin down spindles (§4.2)",
+         ["quantity", "value"],
+         [("disks kept", len(plan.devices_kept)),
+          ("disks spun down", len(outcome.released_devices)),
+          ("bytes moved (MB)", round(outcome.moved_bytes / MB, 0)),
+          ("migration energy (J)", round(outcome.migration_energy_joules, 1)),
+          ("metered break-even (s)", round(outcome.breakeven_seconds(), 1)),
+          ("idle horizon (s)", round(horizon, 1)),
+          ("idle energy, consolidated (J)", round(consolidated, 1)),
+          ("idle energy, baseline (J)", round(baseline, 1)),
+          ("net saving (J)", round(net, 1))])
+    # packing found a real reduction
+    assert len(plan.devices_kept) < 6
+    assert len(outcome.released_devices) >= 3
+    # the migration had a real, finite cost and break-even
+    assert outcome.migration_energy_joules > 0
+    assert 0 < outcome.breakeven_seconds() < float("inf")
+    # past the break-even, consolidation is net-positive
+    assert consolidated < baseline
+    assert net > 0

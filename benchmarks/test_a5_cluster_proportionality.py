@@ -1,0 +1,48 @@
+"""A5 (§2.4, [TWM+08]): ensemble-level energy proportionality.
+
+Individual servers idle at well over half their peak power, but a
+cluster that consolidates load and powers nodes off approximates the
+[BH07] proportional ideal.  We play a diurnal trace against three
+policies and report energy and the proportionality index of the
+resulting cluster power curve.
+"""
+
+from conftest import emit, run_once
+
+from repro.consolidation import ClusterPolicy, diurnal_trace, simulate_cluster
+from repro.consolidation.cluster import ServerPowerModel
+
+N_SERVERS = 24
+DAYS = 7
+
+
+def sweep():
+    trace = diurnal_trace() * DAYS
+    model = ServerPowerModel(idle_watts=220.0, peak_watts=360.0,
+                             cycle_joules=25_000.0)
+    return {policy: simulate_cluster(trace, N_SERVERS, policy, model)
+            for policy in ClusterPolicy}
+
+
+def test_consolidation_approximates_proportionality(benchmark):
+    reports = run_once(benchmark, sweep)
+    emit(benchmark,
+         "A5: cluster policies over a week of diurnal load (§2.4)",
+         ["policy", "energy_MJ", "cycle_MJ", "server_hours", "EP_index"],
+         [(p.value, round(r.total_energy_joules / 1e6, 1),
+           round(r.cycle_energy_joules / 1e6, 2),
+           round(r.server_hours, 0), round(r.proportionality(), 3))
+          for p, r in reports.items()])
+    all_on = reports[ClusterPolicy.ALL_ON]
+    packed = reports[ClusterPolicy.CONSOLIDATE]
+    lazy = reports[ClusterPolicy.CONSOLIDATE_LAZY]
+    # consolidation saves real energy, even after paying cycling costs
+    assert packed.total_energy_joules < 0.75 * all_on.total_energy_joules
+    assert packed.total_energy_joules <= lazy.total_energy_joules \
+        <= all_on.total_energy_joules
+    # a non-proportional node (EP ~ 0.4) becomes a fairly proportional
+    # ensemble under consolidation
+    node_ep = 1.0 - 220.0 / 360.0  # dynamic range of one server
+    assert all_on.proportionality() < 0.5
+    assert packed.proportionality() > 0.75
+    assert packed.proportionality() > all_on.proportionality() + 0.3

@@ -1,0 +1,56 @@
+"""A7 (§5.2): group-commit batching factor.
+
+"It may make sense to increase the batching factor (and increase
+response time) to avoid frequent commits on stable storage."  Sweeping
+the WAL's batch size over a fixed OLTP stream: flushes and log-device
+energy fall, commit latency rises.
+"""
+
+from conftest import emit, run_once
+
+from repro.hardware.profiles import commodity
+from repro.sim import Simulation
+from repro.storage.wal import WriteAheadLog
+from repro.workloads import run_oltp_stream
+
+BATCH_FACTORS = [1, 4, 16, 64]
+
+
+def run_with_batch(batch):
+    sim = Simulation()
+    server, _array = commodity(sim)
+    log_device = server.storage[-1]  # the NVMe drive carries the log
+    wal = WriteAheadLog(sim, log_device, batch_records=batch,
+                        batch_timeout_seconds=0.02)
+    report = run_oltp_stream(sim, server.cpu, wal, n_transactions=600,
+                             arrival_rate_per_s=3000.0)
+    return report
+
+
+def sweep():
+    return [(batch, run_with_batch(batch)) for batch in BATCH_FACTORS]
+
+
+def test_batching_factor_trades_latency_for_log_energy(benchmark):
+    results = run_once(benchmark, sweep)
+    emit(benchmark,
+         "A7: WAL group-commit batching factor (§5.2)",
+         ["batch", "flushes", "bytes_flushed", "mean_latency_ms",
+          "p99_latency_ms", "uJ_per_txn"],
+         [(batch, r.log_flushes, r.log_bytes_flushed,
+           round(r.mean_commit_latency_seconds * 1e3, 3),
+           round(r.p99_commit_latency_seconds * 1e3, 3),
+           round(r.joules_per_transaction * 1e6, 2))
+          for batch, r in results])
+    flushes = [r.log_flushes for _, r in results]
+    bytes_flushed = [r.log_bytes_flushed for _, r in results]
+    latencies = [r.mean_commit_latency_seconds for _, r in results]
+    energies = [r.joules_per_transaction for _, r in results]
+    # bigger batches -> strictly fewer flushes and fewer device bytes
+    assert flushes == sorted(flushes, reverse=True)
+    assert bytes_flushed == sorted(bytes_flushed, reverse=True)
+    # the ends of the sweep show the paper's trade cleanly
+    assert energies[-1] < 0.7 * energies[0]
+    assert latencies[-1] > latencies[0]
+    # every transaction still commits
+    assert all(r.transactions == 600 for _, r in results)

@@ -1,0 +1,115 @@
+"""A8 (§2.4, [BH07]): energy proportionality of a real vs. ideal server.
+
+We duty-cycle a server through utilization levels 0..1, meter its power
+curve, and compute the proportionality index.  The real server's energy
+efficiency collapses at low utilization — Barroso & Hölzle's "mostly
+10-50 % utilized" regime — while an ideal proportional machine keeps EE
+constant at every load level.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.hardware.profiles import commodity
+from repro.hardware.proportionality import (
+    IdealProportionalDevice,
+    proportionality_index,
+)
+from repro.sim import Simulation
+
+UTILIZATIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+WINDOW_SECONDS = 100.0
+PERIOD_SECONDS = 1.0
+
+
+def duty_cycle_real(utilization):
+    """Run the commodity server's CPU+disks at a duty cycle; return
+    (average watts, work done)."""
+    sim = Simulation()
+    server, array = commodity(sim)
+    busy = utilization * PERIOD_SECONDS
+    work_seconds = 0.0
+
+    def loop():
+        nonlocal work_seconds
+        cycles_per_busy = busy * server.cpu.effective_frequency_hz \
+            * server.cpu.spec.cores
+        while sim.now < WINDOW_SECONDS - 1e-9:
+            if busy > 0:
+                io = sim.spawn(array.read(
+                    busy * 100e6, stream="duty"))
+                yield from server.cpu.execute(cycles_per_busy,
+                                              parallelism=4)
+                yield io
+                work_seconds += busy
+            # sleep to the next period boundary (no-op if already on it)
+            next_boundary = (int(sim.now / PERIOD_SECONDS + 1e-9) + 1) \
+                * PERIOD_SECONDS
+            if busy >= PERIOD_SECONDS - 1e-9:
+                continue  # fully loaded: no idle phase
+            yield sim.timeout(max(0.0, next_boundary - sim.now))
+
+    sim.run(until=sim.spawn(loop()))
+    sim.run(until=WINDOW_SECONDS)
+    watts = server.meter.energy_joules(0.0, WINDOW_SECONDS) / WINDOW_SECONDS
+    return watts, work_seconds
+
+
+def duty_cycle_ideal(utilization, peak_watts):
+    sim = Simulation()
+    device = IdealProportionalDevice(sim, "ideal", peak_watts=peak_watts)
+    work_seconds = 0.0
+
+    def loop():
+        nonlocal work_seconds
+        while sim.now < WINDOW_SECONDS - 1e-9:
+            busy = utilization * PERIOD_SECONDS
+            if busy > 0:
+                yield from device.occupy(busy)
+                work_seconds += busy
+            if PERIOD_SECONDS - busy > 1e-12:
+                yield sim.timeout(PERIOD_SECONDS - busy)
+
+    sim.run(until=sim.spawn(loop()))
+    sim.run(until=WINDOW_SECONDS)
+    watts = device.energy_joules(0.0, WINDOW_SECONDS) / WINDOW_SECONDS
+    return watts, work_seconds
+
+
+def sweep():
+    real = [duty_cycle_real(u) for u in UTILIZATIONS]
+    peak = real[-1][0]
+    ideal = [duty_cycle_ideal(u, peak) for u in UTILIZATIONS]
+    return real, ideal
+
+
+def test_real_server_far_from_proportional(benchmark):
+    real, ideal = run_once(benchmark, sweep)
+    rows = []
+    for u, (rw, rwork), (iw, iwork) in zip(UTILIZATIONS, real, ideal):
+        rows.append((u, round(rw, 1), round(iw, 1),
+                     round(rwork / rw, 4) if rw and rwork else 0.0,
+                     round(iwork / iw, 4) if iw and iwork else 0.0))
+    real_ep = proportionality_index(UTILIZATIONS, [w for w, _ in real])
+    ideal_ep = proportionality_index(UTILIZATIONS, [w for w, _ in ideal])
+    emit(benchmark,
+         "A8: power and efficiency vs utilization, real vs ideal "
+         "proportional ([BH07])",
+         ["utilization", "real_W", "ideal_W", "real_work_per_J",
+          "ideal_work_per_J"], rows,
+         real_EP_index=round(real_ep, 3),
+         ideal_EP_index=round(ideal_ep, 3))
+    # the real box burns a large fraction of peak while idle
+    idle_watts = real[0][0]
+    peak_watts = real[-1][0]
+    assert idle_watts > 0.3 * peak_watts
+    # proportionality indices: ideal ~ 1, real clearly below
+    assert ideal_ep == pytest.approx(1.0, abs=0.02)
+    assert real_ep < 0.75
+    # the real server's efficiency collapses at low load...
+    real_ee = [work / (w * WINDOW_SECONDS)
+               for (w, work) in real[1:]]  # skip u=0 (no work)
+    assert real_ee[-1] > 1.5 * real_ee[0]
+    # ...while the ideal machine's EE is constant across loads
+    ideal_ee = [work / (w * WINDOW_SECONDS) for (w, work) in ideal[1:]]
+    assert max(ideal_ee) == pytest.approx(min(ideal_ee), rel=0.05)

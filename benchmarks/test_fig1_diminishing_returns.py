@@ -1,0 +1,43 @@
+"""Figure 1: TPC-H throughput-test time and energy efficiency vs. the
+number of disks {36, 66, 108, 204} on the DL785 profile.
+
+Paper's findings this bench must reproduce in shape:
+  * performance improves with more disks, with diminishing returns;
+  * energy efficiency PEAKS at 66 disks and drops beyond;
+  * the most efficient point trades a large performance drop (paper:
+    45 %) for an efficiency gain (paper: 14 %).
+"""
+
+from conftest import emit, run_once
+
+from repro.core.experiments import run_figure1
+from repro.hardware.profiles import FIG1_DISK_COUNTS
+
+
+def test_figure1_disk_sweep(benchmark):
+    result = run_once(benchmark, lambda: run_figure1())
+    rows = [(n, round(t, 1), round(p, 0), ee * 1e6)
+            for (n, t, p, ee) in result.rows()]
+    gain, drop = result.tradeoff()
+    emit(benchmark,
+         "Figure 1: throughput test vs. number of disks (paper: EE "
+         "peaks at 66; +14% EE for -45% perf)",
+         ["disks", "time_s", "avg_watts", "queries_per_MJ"], rows,
+         most_efficient_disks=result.most_efficient_disks,
+         fastest_disks=result.fastest_disks,
+         efficiency_gain_pct=round(gain * 100, 1),
+         performance_drop_pct=round(drop * 100, 1))
+
+    times = [r.makespan_seconds for r in result.reports]
+    # performance improves monotonically with disks...
+    assert times == sorted(times, reverse=True)
+    # ...with diminishing returns: each doubling helps less
+    speedup_36_66 = times[0] / times[1]
+    speedup_108_204 = times[2] / times[3]
+    assert speedup_108_204 < speedup_36_66
+    # the paper's headline: the EE peak is interior, at the 66-disk point
+    assert result.most_efficient_disks == 66
+    assert result.fastest_disks == max(FIG1_DISK_COUNTS)
+    # trade-off has the paper's signs and rough magnitudes
+    assert 0.05 < gain < 1.0
+    assert 0.25 < drop < 0.60

@@ -1,0 +1,40 @@
+"""Figure 2: relational scan of ORDERS (5 of 7 attributes) on one 90 W
+CPU and three 5 W-aggregate flash SSDs, uncompressed vs. compressed.
+
+Paper's numbers: uncompressed 10 s total / 3.2 s CPU / 338 J;
+compressed 5.5 s / 5.1 s CPU / 487 J — "compressed data result in a
+faster query by trading CPU cycles for disk bandwidth, but overall
+energy consumption increases."
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.core.experiments import run_figure2
+
+
+def test_figure2_scan_compression(benchmark):
+    result = run_once(benchmark, lambda: run_figure2())
+    rows = [(config, round(total, 2), round(cpu, 2), round(joules, 0))
+            for config, total, cpu, joules in result.rows()]
+    emit(benchmark,
+         "Figure 2: uncompressed vs compressed scan (paper: 10s/3.2s/"
+         "338J vs 5.5s/5.1s/487J)",
+         ["config", "total_s", "cpu_s", "joules"], rows,
+         speedup=round(result.speedup, 2),
+         energy_ratio=round(result.energy_ratio, 2),
+         compression_ratio=round(result.compressed.compression_ratio, 2))
+
+    u, c = result.uncompressed, result.compressed
+    # uncompressed configuration is calibrated to the paper exactly
+    assert u.total_seconds == pytest.approx(10.0, rel=0.05)
+    assert u.cpu_seconds == pytest.approx(3.2, rel=0.05)
+    assert u.energy_joules == pytest.approx(338.0, rel=0.05)
+    # the compressed scan is roughly 2x faster (paper observed 2x)...
+    assert 1.5 < result.speedup < 2.5
+    # ...CPU-bound rather than disk-bound...
+    assert c.cpu_seconds > 0.9 * c.io_seconds
+    assert u.cpu_seconds < 0.5 * u.io_seconds
+    # ...and the paper's headline inversion holds: faster but hungrier
+    assert result.inversion_holds
+    assert 1.15 < result.energy_ratio < 1.7

@@ -1,0 +1,50 @@
+"""T1 (§2.1): the definitional identities, checked against a metered
+run of the engine rather than against themselves.
+
+EE = WorkDone/Energy = WorkDone/(Power x Time) = Perf/Power, and for
+fixed work, maximizing EE == minimizing energy.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.core.metrics import energy_efficiency, perf_per_watt
+from repro.hardware.profiles import commodity
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.operators import TableScan
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+
+def run_metered_query():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("t", [Column("k", DataType.INT64, nullable=False)]),
+        layout="row", placement=array)
+    table.load([(i,) for i in range(5000)])
+    ctx = ExecutionContext(sim=sim, server=server, scale=500.0)
+    return Executor(ctx).run(TableScan(table))
+
+
+def test_metrics_identities_on_metered_run(benchmark):
+    result = run_once(benchmark, run_metered_query)
+    work = float(result.row_count)
+    ee = energy_efficiency(work, result.energy_joules)
+    ppw = perf_per_watt(work / result.elapsed_seconds,
+                        result.average_power_watts)
+    emit(benchmark, "T1: energy-efficiency identities (§2.1)",
+         ["quantity", "value"],
+         [("work (rows)", work),
+          ("energy (J)", round(result.energy_joules, 2)),
+          ("time (s)", round(result.elapsed_seconds, 4)),
+          ("EE = work/J", ee),
+          ("perf/watt", ppw)])
+    # EE == Perf/Power on real metered numbers
+    assert ee == pytest.approx(ppw, rel=1e-9)
+    # energy == avg power x time on real metered numbers
+    assert result.energy_joules == pytest.approx(
+        result.average_power_watts * result.elapsed_seconds, rel=1e-9)

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Access paths and work sharing: indexes, index joins, shared scans.
+
+Shows the engine's §5.1/§5.2 machinery:
+
+1. a B+tree index turns a selective predicate from a full-table pass
+   into a few leaf pages plus clustered heap reads;
+2. the planner picks the index automatically when it pays — and keeps
+   the table scan when the predicate is wide;
+3. an index nested-loop join avoids the hash table entirely;
+4. cooperative scans run a batch of queries over ONE physical pass.
+"""
+
+from repro.core.report import format_table
+from repro.hardware.profiles import commodity
+from repro.optimizer import CostModel, Objective, Planner, QuerySpec
+from repro.optimizer.planner import TableRef
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import Between, col
+from repro.relational.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    IndexNestedLoopJoin,
+    IndexScan,
+    TableScan,
+)
+from repro.relational.plan import explain
+from repro.relational.shared import SharedScanSession, run_independently
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+SCALE = 400.0
+
+
+def build():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    orders = storage.create_table(
+        TableSchema("orders", [
+            Column("o_id", DataType.INT64, nullable=False),
+            Column("o_cust", DataType.INT64, nullable=False),
+            Column("o_total", DataType.FLOAT64, nullable=False),
+        ]), layout="row", placement=array)
+    orders.load([(i, i % 200, float(i % 997)) for i in range(8000)])
+    orders.create_index("o_id", clustered=True)
+    orders.create_index("o_cust")
+    customers = storage.create_table(
+        TableSchema("customers", [
+            Column("c_id", DataType.INT64, nullable=False),
+            Column("c_seg", DataType.VARCHAR, nullable=False),
+        ]), layout="row", placement=array)
+    customers.load([(i, ["gold", "silver"][i % 2]) for i in range(200)])
+    return sim, server, orders, customers
+
+
+def index_vs_scan(sim, server, orders):
+    print("--- 1. index scan vs full scan for a 1% predicate ---")
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=SCALE))
+    rows = []
+    for name, plan in [
+        ("full scan + filter",
+         Filter(TableScan(orders), Between(col("o_id"), 0, 79))),
+        ("clustered index scan",
+         IndexScan(orders, "o_id", low=0, high=79)),
+    ]:
+        result = executor.run(plan)
+        rows.append((name, result.row_count,
+                     round(result.elapsed_seconds * 1e3, 2),
+                     round(result.energy_joules, 3)))
+    print(format_table(["plan", "rows", "ms", "joules"], rows))
+
+
+def planner_picks(server, orders):
+    print("\n--- 2. the planner chooses the access path by cost ---")
+    planner = Planner(CostModel(server, scale=SCALE), Objective.TIME)
+    for label, predicate in [("narrow (1%)", Between(col("o_id"), 0, 79)),
+                             ("wide (90%)", col("o_id") >= 800)]:
+        planned = planner.plan(QuerySpec(
+            tables=[TableRef(orders, predicate=predicate)]))
+        first_line = explain(planned.root).splitlines()[-1].strip()
+        print(f"  {label:12s} -> {first_line[:70]}")
+
+
+def index_join(sim, server, orders, customers):
+    print("\n--- 3. index NLJ vs hash join for a point-selective outer ---")
+    from repro.relational.operators import HashJoin
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=SCALE))
+    rows = []
+    for name, builder in [
+        ("index NLJ", lambda: IndexNestedLoopJoin(
+            Filter(TableScan(customers), col("c_id") == 7),
+            orders, "o_cust", "c_id")),
+        ("hash join", lambda: HashJoin(
+            Filter(TableScan(customers), col("c_id") == 7),
+            TableScan(orders), ["c_id"], ["o_cust"])),
+    ]:
+        result = executor.run(builder())
+        rows.append((name, result.row_count,
+                     round(result.elapsed_seconds * 1e3, 1),
+                     round(result.energy_joules, 2)))
+    print(format_table(["join", "rows", "ms", "joules"], rows))
+    print("  (on SPINNING disks the hash join wins: every index probe "
+          "and rid\n   fetch pays a positioning delay.  On flash the "
+          "verdict flips for\n   selective outers — see "
+          "benchmarks/test_a11_index_join_flip.py)")
+
+
+def shared_scans(orders):
+    print("\n--- 4. cooperative scans: 6 queries, one physical pass ---")
+
+    def builders(table):
+        out = []
+        for i in range(6):
+            def make(i=i):
+                return HashAggregate(
+                    Filter(TableScan(table), col("o_cust") == i),
+                    [], [AggregateSpec("sum", col("o_total"), "s")])
+            out.append(make)
+        return out
+
+    sim, server, orders2, _ = build()
+    run_independently(
+        Executor(ExecutionContext(sim=sim, server=server, scale=SCALE)),
+        builders(orders2))
+    indep = (sim.now, server.meter.energy_joules(0.0, sim.now))
+    sim, server, orders3, _ = build()
+    SharedScanSession(
+        Executor(ExecutionContext(sim=sim, server=server,
+                                  scale=SCALE))).run_batch(
+        builders(orders3))
+    shared = (sim.now, server.meter.energy_joules(0.0, sim.now))
+    print(format_table(
+        ["mode", "seconds", "joules"],
+        [("independent", round(indep[0], 3), round(indep[1], 1)),
+         ("shared pass", round(shared[0], 3), round(shared[1], 1))]))
+    print(f"  energy saving: {indep[1] / shared[1]:.1f}x")
+
+
+def main() -> None:
+    sim, server, orders, customers = build()
+    index_vs_scan(sim, server, orders)
+    planner_picks(server, orders)
+    index_join(sim, server, orders, customers)
+    shared_scans(orders)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Capacity planning for energy efficiency (paper §3.1 + §5.3).
+
+Re-runs the Figure 1 sweep (TPC-H-style throughput test on the DL785
+profile with 36..204 disks), locates the diminishing-returns point, and
+then applies the TCO model: at what electricity price does adding a
+second efficient node beat over-provisioning disks on one node?
+
+This is the slowest example (~1-2 minutes of host time): it simulates
+four full multi-stream throughput tests.
+"""
+
+from repro.core.experiments import run_figure1
+from repro.core.metrics import TcoModel
+from repro.core.report import format_table
+
+
+def main() -> None:
+    print("Sweeping the Figure 1 disk counts (this takes a minute)...\n")
+    result = run_figure1()
+    print(format_table(
+        ["disks", "time_s", "avg_W", "queries_per_MJ"],
+        [(n, round(t, 0), round(p, 0), round(ee * 1e6, 2))
+         for n, t, p, ee in result.rows()],
+        title="Figure 1: throughput test vs number of disks"))
+    gain, drop = result.tradeoff()
+    print(f"\nmost efficient point : {result.most_efficient_disks} disks")
+    print(f"fastest point        : {result.fastest_disks} disks")
+    print(f"trade-off            : +{gain * 100:.0f}% efficiency for "
+          f"-{drop * 100:.0f}% performance "
+          "(paper reported +14% for -45%)")
+
+    # §5.3: when do two efficient nodes beat one over-provisioned node?
+    reports = dict(zip(result.disk_counts, result.reports))
+    eff = reports[result.most_efficient_disks]
+    fast = reports[result.fastest_disks]
+    chassis, disk = 90_000.0, 350.0
+    print("\nTCO: 1x fast node vs 2x efficient nodes")
+    rows = []
+    for price in (0.05, 0.10, 0.20, 0.40, 0.80):
+        single = TcoModel(chassis + result.fastest_disks * disk,
+                          electricity_dollars_per_kwh=price)
+        double = TcoModel(2 * (chassis
+                               + result.most_efficient_disks * disk),
+                          electricity_dollars_per_kwh=price)
+        cost_single = single.cost_per_unit_work(
+            fast.average_power_watts, fast.performance)
+        cost_double = double.cost_per_unit_work(
+            2 * eff.average_power_watts, 2 * eff.performance)
+        winner = ("scale-out" if cost_double < cost_single
+                  else "single node")
+        rows.append((price, round(cost_single, 4), round(cost_double, 4),
+                     winner))
+    print(format_table(["$/kWh", "single $/query", "scale-out $/query",
+                        "winner"], rows))
+
+
+if __name__ == "__main__":
+    main()

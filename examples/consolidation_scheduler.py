@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Consolidation in time and space (paper §4.2).
+
+Part 1 — batching: sparse query arrivals are run FIFO (disks spinning
+throughout) and then batched with spin-down between batches; energy
+drops at the cost of latency.
+
+Part 2 — packing: six lukewarm partitions spread over six disks are
+consolidated onto two; the migration's metered cost is compared to the
+idle-power savings to find the break-even.
+"""
+
+from repro.consolidation import (
+    execute_consolidation,
+    poisson_arrivals,
+    run_batched,
+    run_fifo,
+)
+from repro.core.report import format_table
+from repro.hardware.profiles import commodity
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.operators import TableScan
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+from repro.storage.partitioner import DeviceSlot, Partition, Partitioner
+from repro.units import MB
+
+
+def build_env():
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("events", [
+            Column("k", DataType.INT64, nullable=False)]),
+        layout="row", placement=array)
+    table.load([(i,) for i in range(2000)])
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=200.0))
+    return sim, server, array, table, executor
+
+
+def batching_demo() -> None:
+    print("--- batching: FIFO vs batched-with-spin-down ---")
+    rows = []
+    for policy in ("fifo", "batched"):
+        sim, server, array, table, executor = build_env()
+        arrivals = poisson_arrivals([lambda: TableScan(table)], 10,
+                                    rate_per_s=1 / 40.0)
+        horizon = max(a.at_seconds for a in arrivals) + 200.0
+        if policy == "fifo":
+            report = run_fifo(sim, server, executor, arrivals,
+                              tail_seconds=horizon - sim.now)
+        else:
+            report = run_batched(sim, server, executor, arrivals, array,
+                                 window_seconds=90.0,
+                                 tail_seconds=horizon - sim.now)
+        rows.append((policy, round(report.energy_joules, 0),
+                     round(report.mean_latency_seconds, 1),
+                     report.spin_down_count))
+    print(format_table(["policy", "energy_J", "mean_latency_s",
+                        "spin_downs"], rows))
+
+
+def packing_demo() -> None:
+    print("\n--- packing: consolidate partitions, spin down disks ---")
+    sim = Simulation()
+    server, _array = commodity(sim, n_disks=6)
+    disks = {d.name: d for d in server.storage if d.name.startswith("hdd")}
+    slots = [DeviceSlot(name, d.spec.capacity_bytes,
+                        d.spec.bandwidth_bytes_per_s,
+                        d.spec.idle_watts, d.spec.active_watts)
+             for name, d in disks.items()]
+    parts = [Partition(f"p{i}", 300 * MB, read_bytes_per_s=15 * MB)
+             for i in range(6)]
+    plan = Partitioner(slots).plan_consolidation(
+        parts, {f"p{i}": f"hdd{i}" for i in range(6)})
+    print(f"plan: keep {plan.devices_kept}, "
+          f"spin down {plan.devices_released}, "
+          f"move {sum(m.size_bytes for m in plan.moves) / MB:.0f} MB")
+    outcome = execute_consolidation(sim, plan, disks)
+    print(f"metered migration : {outcome.migration_seconds:.1f} s, "
+          f"{outcome.migration_energy_joules:.0f} J")
+    print(f"idle savings      : {outcome.idle_savings_watts:.1f} W")
+    print(f"break-even        : {outcome.breakeven_seconds():.0f} s of "
+          "quiet time repays the migration")
+
+
+def main() -> None:
+    batching_demo()
+    packing_demo()
+
+
+if __name__ == "__main__":
+    main()

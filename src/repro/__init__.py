@@ -1,0 +1,33 @@
+"""repro: energy-efficient data management, reproduced.
+
+A working reproduction of Harizopoulos, Meza, Shah & Ranganathan,
+"Energy Efficiency: The New Holy Grail of Data Management Systems
+Research" (CIDR 2009): an energy-metered discrete-event hardware
+substrate, a complete analytical query engine on top of it, an
+energy-aware optimizer, consolidation machinery, and the paper's two
+experiments plus ablations for its research agenda.
+
+Quick start::
+
+    from repro.core import run_figure2
+    result = run_figure2()
+    print(result.rows())          # Figure 2, regenerated
+"""
+
+from repro.core.experiments import run_figure1, run_figure2
+from repro.core.metrics import energy_efficiency, perf_per_watt
+from repro.relational.executor import ExecutionContext, Executor, QueryResult
+from repro.sim import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionContext",
+    "Executor",
+    "QueryResult",
+    "Simulation",
+    "energy_efficiency",
+    "perf_per_watt",
+    "run_figure1",
+    "run_figure2",
+]

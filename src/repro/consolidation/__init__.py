@@ -1,0 +1,46 @@
+"""Resource-use consolidation (paper §4.2).
+
+Shift computations and relocate data "to consolidate resource use both
+in time and space, to facilitate powering down individual hardware
+components":
+
+* :mod:`~repro.consolidation.scheduler` — consolidation **in time**:
+  batch queries to lengthen device idle periods and spin disks down
+  between batches.
+* :mod:`~repro.consolidation.migration` — consolidation **in space**:
+  execute a migration plan that packs data onto fewer spindles.
+* :mod:`~repro.consolidation.cluster` — consolidation **across nodes**:
+  approximate energy proportionality at the ensemble level by powering
+  whole servers off ([TWM+08]-style).
+"""
+
+from repro.consolidation.scheduler import (
+    Arrival,
+    ScheduleReport,
+    poisson_arrivals,
+    run_batched,
+    run_fifo,
+)
+from repro.consolidation.migration import MigrationOutcome, execute_consolidation
+from repro.consolidation.speed import SpeedGovernor
+from repro.consolidation.cluster import (
+    ClusterPolicy,
+    ClusterReport,
+    diurnal_trace,
+    simulate_cluster,
+)
+
+__all__ = [
+    "Arrival",
+    "ClusterPolicy",
+    "ClusterReport",
+    "MigrationOutcome",
+    "ScheduleReport",
+    "SpeedGovernor",
+    "diurnal_trace",
+    "execute_consolidation",
+    "poisson_arrivals",
+    "run_batched",
+    "run_fifo",
+    "simulate_cluster",
+]

@@ -1,0 +1,83 @@
+"""Execute consolidation plans against simulated devices (paper §4.2).
+
+Takes a :class:`~repro.storage.partitioner.ConsolidationPlan`, performs
+the planned data movement on the simulated disks (reads from sources,
+writes to targets), spins the released spindles down, and reports what
+the migration actually cost — so callers can check the planner's
+break-even arithmetic against metered reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ConsolidationError
+from repro.storage.partitioner import ConsolidationPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.disk import HardDisk
+    from repro.sim.engine import Simulation
+
+
+@dataclass
+class MigrationOutcome:
+    """Metered results of executing a consolidation plan."""
+
+    moved_bytes: int
+    migration_seconds: float
+    migration_energy_joules: float
+    released_devices: list[str]
+    idle_savings_watts: float
+
+    def breakeven_seconds(self) -> float:
+        """Metered time for the new placement to repay the migration."""
+        if self.idle_savings_watts <= 0:
+            return float("inf")
+        return self.migration_energy_joules / self.idle_savings_watts
+
+
+def execute_consolidation(sim: "Simulation",
+                          plan: ConsolidationPlan,
+                          devices: Mapping[str, "HardDisk"]
+                          ) -> MigrationOutcome:
+    """Run the plan's moves concurrently, then spin down released disks."""
+    for move in plan.moves:
+        for name in (move.source, move.target):
+            if name not in devices:
+                raise ConsolidationError(f"plan references unknown device "
+                                         f"{name!r}")
+    for name in plan.devices_released:
+        if name not in devices:
+            raise ConsolidationError(f"plan releases unknown device "
+                                     f"{name!r}")
+    start = sim.now
+    energy_before = sum(d.energy_joules(0.0, start)
+                        for d in devices.values())
+
+    def mover(move):
+        yield from devices[move.source].read(move.size_bytes,
+                                             stream=f"mig-{move.partition}")
+        yield from devices[move.target].write(move.size_bytes,
+                                              stream=f"mig-{move.partition}")
+
+    movers = [sim.spawn(mover(m), name=f"move-{m.partition}")
+              for m in plan.moves]
+    if movers:
+        sim.run(until=sim.all_of(movers))
+    spinners = [sim.spawn(devices[name].spin_down(), name=f"down-{name}")
+                for name in plan.devices_released]
+    if spinners:
+        sim.run(until=sim.all_of(spinners))
+    end = sim.now
+    energy_after = sum(d.energy_joules(0.0, end) for d in devices.values())
+    savings = sum(devices[name].spec.idle_watts
+                  - devices[name].spec.standby_watts
+                  for name in plan.devices_released)
+    return MigrationOutcome(
+        moved_bytes=sum(m.size_bytes for m in plan.moves),
+        migration_seconds=end - start,
+        migration_energy_joules=energy_after - energy_before,
+        released_devices=list(plan.devices_released),
+        idle_savings_watts=savings,
+    )

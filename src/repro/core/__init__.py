@@ -1,0 +1,44 @@
+"""Core framework: the paper's thesis made executable.
+
+Energy-efficiency metrics (§2.1), the knob-sweep profiler that finds
+Figure 1's diminishing-returns point for any knob, the two published
+experiments as library functions, and report formatting for the
+benchmark harness.
+"""
+
+from repro.core.metrics import (
+    TcoModel,
+    energy_delay_product,
+    energy_efficiency,
+    perf_per_watt,
+)
+from repro.core.profiler import (
+    EnergyProfile,
+    ProfilePoint,
+    sweep_knob,
+)
+from repro.core.experiments import (
+    Figure1Result,
+    Figure2Result,
+    run_figure1,
+    run_figure2,
+)
+from repro.core.coordination import DvfsGovernor, PowerCoordinator
+from repro.core.report import format_table
+
+__all__ = [
+    "DvfsGovernor",
+    "EnergyProfile",
+    "Figure1Result",
+    "Figure2Result",
+    "PowerCoordinator",
+    "ProfilePoint",
+    "TcoModel",
+    "energy_delay_product",
+    "energy_efficiency",
+    "format_table",
+    "perf_per_watt",
+    "run_figure1",
+    "run_figure2",
+    "sweep_knob",
+]

@@ -1,0 +1,138 @@
+"""The paper's published experiments as library functions.
+
+Shared by the benchmark harness, the examples, and the integration
+tests, so the numbers in EXPERIMENTS.md come from exactly one code
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.profiler import EnergyProfile, ProfilePoint
+from repro.hardware.profiles import FIG1_DISK_COUNTS, dl785
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+from repro.workloads.scan_workload import ScanReport, run_scan_experiment
+from repro.workloads.throughput import ThroughputReport, run_throughput_test
+from repro.workloads.tpch_gen import generate_tpch
+from repro.workloads.tpch_queries import throughput_mix
+
+
+@dataclass
+class Figure1Result:
+    """Time and energy efficiency vs. number of disks."""
+
+    disk_counts: list[int]
+    reports: list[ThroughputReport]
+    profile: EnergyProfile = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.profile = EnergyProfile(knob_name="disks")
+        for n, report in zip(self.disk_counts, self.reports):
+            self.profile.points.append(ProfilePoint(
+                knob_value=n,
+                seconds=report.makespan_seconds,
+                energy_joules=report.energy_joules,
+                work_done=report.queries_completed,
+            ))
+
+    @property
+    def most_efficient_disks(self) -> int:
+        return self.profile.best_efficiency().knob_value
+
+    @property
+    def fastest_disks(self) -> int:
+        return self.profile.best_performance().knob_value
+
+    def tradeoff(self) -> tuple[float, float]:
+        """(efficiency gain, performance drop) of best-EE vs. fastest."""
+        return self.profile.tradeoff()
+
+    def rows(self) -> list[tuple]:
+        """Paper-style rows: disks, time, power, energy efficiency."""
+        return [
+            (n, r.makespan_seconds, r.average_power_watts,
+             r.energy_efficiency)
+            for n, r in zip(self.disk_counts, self.reports)
+        ]
+
+
+def run_figure1(disk_counts: Sequence[int] = FIG1_DISK_COUNTS,
+                physical_scale_factor: float = 0.002,
+                logical_scale_factor: float = 300.0,
+                streams: int = 6,
+                queries_per_stream: int = 3,
+                parallelism: int = 4,
+                spindle_groups: int = 12) -> Figure1Result:
+    """Reproduce Figure 1: TPC-H throughput test vs. number of disks.
+
+    Data is generated once per disk count at ``physical_scale_factor``
+    and replayed as if at ``logical_scale_factor`` (the audited system
+    ran SF 300).  Hardware is the DL785 profile with RAID 5.
+    """
+    reports = []
+    for n_disks in disk_counts:
+        sim = Simulation()
+        server, array = dl785(sim, n_disks=n_disks,
+                              spindle_groups=spindle_groups)
+        storage = StorageManager(sim)
+        db = generate_tpch(storage, array,
+                           scale_factor=physical_scale_factor)
+        mix = throughput_mix(db, parallelism=parallelism)
+        reports.append(run_throughput_test(
+            sim, server, mix, streams=streams,
+            queries_per_stream=queries_per_stream,
+            scale=logical_scale_factor / physical_scale_factor))
+    return Figure1Result(disk_counts=list(disk_counts), reports=reports)
+
+
+@dataclass
+class Figure2Result:
+    """Uncompressed vs. compressed scan on the flash node."""
+
+    uncompressed: ScanReport
+    compressed: ScanReport
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the compressed scan runs (paper: ~2x)."""
+        return self.uncompressed.total_seconds / self.compressed.total_seconds
+
+    @property
+    def energy_ratio(self) -> float:
+        """Compressed / uncompressed energy (paper: 487/338 = 1.44)."""
+        return self.compressed.energy_joules / self.uncompressed.energy_joules
+
+    @property
+    def inversion_holds(self) -> bool:
+        """The paper's headline: the faster plan uses more energy."""
+        return (self.compressed.total_seconds
+                < self.uncompressed.total_seconds
+                and self.compressed.energy_joules
+                > self.uncompressed.energy_joules)
+
+    def rows(self) -> list[tuple]:
+        """Paper-style rows: config, total s, CPU s, Joules."""
+        return [
+            ("uncompressed", self.uncompressed.total_seconds,
+             self.uncompressed.cpu_seconds,
+             self.uncompressed.energy_joules),
+            ("compressed", self.compressed.total_seconds,
+             self.compressed.cpu_seconds,
+             self.compressed.energy_joules),
+        ]
+
+
+def run_figure2(scale_factor: float = 0.002,
+                seed: int = 2009) -> Figure2Result:
+    """Reproduce Figure 2: the compressed-vs-uncompressed flash scan."""
+    return Figure2Result(
+        uncompressed=run_scan_experiment(compressed=False,
+                                         scale_factor=scale_factor,
+                                         seed=seed),
+        compressed=run_scan_experiment(compressed=True,
+                                       scale_factor=scale_factor,
+                                       seed=seed),
+    )

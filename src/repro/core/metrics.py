@@ -1,0 +1,89 @@
+"""Energy-efficiency metrics and the TCO model.
+
+§2.1 defines energy efficiency as work done per unit energy, equivalent
+to performance per Watt; §5.3 adds the total-cost-of-ownership framing
+(management + hardware + energy) under which "pay for more hardware and
+parallelize, keeping the same energy efficiency" eventually wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.units import KWH
+
+
+def energy_efficiency(work_done: float, energy_joules: float) -> float:
+    """Work per Joule (§2.1): transactions/J, searches/J, queries/J..."""
+    if energy_joules <= 0:
+        raise ReproError("energy must be positive")
+    if work_done < 0:
+        raise ReproError("work cannot be negative")
+    return work_done / energy_joules
+
+
+def perf_per_watt(work_rate_per_s: float, power_watts: float) -> float:
+    """Performance over power — identical to energy efficiency (§2.1)."""
+    if power_watts <= 0:
+        raise ReproError("power must be positive")
+    if work_rate_per_s < 0:
+        raise ReproError("work rate cannot be negative")
+    return work_rate_per_s / power_watts
+
+
+def energy_delay_product(energy_joules: float, seconds: float) -> float:
+    """EDP: the classic single-number compromise between E and T."""
+    if energy_joules < 0 or seconds < 0:
+        raise ReproError("energy and time must be non-negative")
+    return energy_joules * seconds
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Total cost of ownership over a deployment lifetime (§5.3).
+
+    ``cooling_overhead`` burdens every IT Watt with facility Watts
+    ([PBS+03]'s 0.5-1 W per W).
+    """
+
+    hardware_cost_dollars: float
+    electricity_dollars_per_kwh: float = 0.10
+    cooling_overhead: float = 0.5
+    management_dollars_per_year: float = 0.0
+    lifetime_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.hardware_cost_dollars < 0:
+            raise ReproError("hardware cost cannot be negative")
+        if self.lifetime_years <= 0:
+            raise ReproError("lifetime must be positive")
+
+    def energy_cost(self, average_watts: float) -> float:
+        """Lifetime electricity + cooling cost at an average draw."""
+        if average_watts < 0:
+            raise ReproError("power cannot be negative")
+        burdened = average_watts * (1.0 + self.cooling_overhead)
+        joules = burdened * self.lifetime_years * 365.25 * 24 * 3600
+        return joules / KWH * self.electricity_dollars_per_kwh
+
+    def total_cost(self, average_watts: float) -> float:
+        """Hardware + management + lifetime energy."""
+        return (self.hardware_cost_dollars
+                + self.management_dollars_per_year * self.lifetime_years
+                + self.energy_cost(average_watts))
+
+    def cost_per_unit_work(self, average_watts: float,
+                           work_per_second: float) -> float:
+        """Dollars per unit of work over the lifetime."""
+        if work_per_second <= 0:
+            raise ReproError("work rate must be positive")
+        total_work = work_per_second * self.lifetime_years * 365.25 * 24 * 3600
+        return self.total_cost(average_watts) / total_work
+
+    def energy_cost_fraction(self, average_watts: float) -> float:
+        """Share of TCO going to energy — the §5.3 trend variable."""
+        total = self.total_cost(average_watts)
+        if total <= 0:
+            raise ReproError("degenerate TCO")
+        return self.energy_cost(average_watts) / total

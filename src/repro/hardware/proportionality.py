@@ -1,0 +1,122 @@
+"""Energy proportionality [BH07].
+
+"Servers should use no power when not used and power only in proportion
+to delivered performance" (paper §1).  This module quantifies how far a
+device or server is from that ideal, and provides an idealized
+proportional device for what-if comparisons (experiment A8).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import HardwareError
+from repro.hardware.device import Device
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+def proportionality_index(utilizations: Sequence[float],
+                          powers_watts: Sequence[float]) -> float:
+    """Energy-proportionality index in [.., 1].
+
+    Normalizes the measured power curve by its peak and compares the area
+    under it to the ideal diagonal (power == utilization):
+
+        EP = 2 - 2 * area(P_norm(u))
+
+    1.0 means perfectly proportional; 0.0 means constant power at all
+    loads; negative values mean worse than constant (higher relative
+    power at low load).  Utilizations must span [0, 1] monotonically.
+    """
+    if len(utilizations) != len(powers_watts):
+        raise HardwareError("utilization/power length mismatch")
+    if len(utilizations) < 2:
+        raise HardwareError("need at least two samples")
+    if list(utilizations) != sorted(utilizations):
+        raise HardwareError("utilizations must be sorted ascending")
+    if abs(utilizations[0]) > 1e-9 or abs(utilizations[-1] - 1.0) > 1e-9:
+        raise HardwareError("utilizations must span [0, 1]")
+    peak = powers_watts[-1]
+    if peak <= 0:
+        raise HardwareError("peak power must be positive")
+    area = 0.0
+    for (u0, p0), (u1, p1) in zip(zip(utilizations, powers_watts),
+                                  zip(utilizations[1:], powers_watts[1:])):
+        area += 0.5 * (p0 + p1) / peak * (u1 - u0)
+    return 2.0 - 2.0 * area
+
+
+def dynamic_range(idle_watts: float, peak_watts: float) -> float:
+    """Fraction of peak power that responds to load.
+
+    The paper (§2.4) notes "most servers offer little power variance from
+    no load to peak use"; this is that variance, as peak-normalized range.
+    """
+    if peak_watts <= 0:
+        raise HardwareError("peak power must be positive")
+    if idle_watts < 0 or idle_watts > peak_watts:
+        raise HardwareError("idle power must be within [0, peak]")
+    return (peak_watts - idle_watts) / peak_watts
+
+
+def ideal_proportional_energy(device: Device,
+                              peak_watts: Optional[float] = None,
+                              t0: Optional[float] = None,
+                              t1: Optional[float] = None) -> float:
+    """Energy the device *would* have used were it perfectly proportional.
+
+    Charges peak power for busy unit-seconds and nothing for idle time —
+    the [BH07] ideal applied retroactively to a recorded run.
+    """
+    if peak_watts is None:
+        per_unit = getattr(device, "active_power_per_unit_watts", None)
+        if per_unit is None:
+            raise HardwareError(
+                f"{device.name}: no active power known; pass peak_watts")
+        return per_unit * device.busy_seconds()
+    if peak_watts < 0:
+        raise HardwareError("peak power cannot be negative")
+    return peak_watts / device.capacity_units * device.busy_seconds()
+
+
+class IdealProportionalDevice(Device):
+    """A synthetic device drawing power exactly proportional to load.
+
+    Useful as a drop-in for sensitivity studies: run the same workload
+    against real and ideal devices and compare energy (experiment A8).
+    """
+
+    def __init__(self, sim: "Simulation", name: str, peak_watts: float,
+                 capacity: int = 1) -> None:
+        if peak_watts < 0:
+            raise HardwareError("peak power cannot be negative")
+        if capacity < 1:
+            raise HardwareError("capacity must be >= 1")
+        super().__init__(sim, name, initial_power_watts=0.0)
+        self.peak_watts = peak_watts
+        self._capacity = capacity
+
+    def occupy(self, seconds: float, units: int = 1):
+        """Hold ``units`` of the device busy for ``seconds`` (process)."""
+        if seconds < 0:
+            raise HardwareError("negative duration")
+        if not 1 <= units <= self._capacity:
+            raise HardwareError(f"units {units} outside 1..{self._capacity}")
+        self._mark_busy(units)
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self._mark_idle(units)
+
+    def _on_activity_change(self) -> None:
+        self._set_power(self.peak_watts * self.busy_units / self._capacity)
+
+    @property
+    def capacity_units(self) -> int:
+        return self._capacity
+
+    @property
+    def active_power_per_unit_watts(self) -> float:
+        return self.peak_watts / self._capacity

@@ -1,0 +1,103 @@
+"""Power delivery and cooling burden.
+
+Studies cited by the paper found that "every 1 W used to power servers
+requires an additional 0.5 W to 1 W of power for cooling equipment"
+[PBS+03], and that power supplies lose a load-dependent fraction of the
+draw.  :class:`BurdenModel` converts component (DC) power into wall /
+facility power so experiments can report either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class PsuSpec:
+    """A power supply with a load-dependent efficiency curve.
+
+    ``efficiency_curve`` maps load fraction (0..1 of ``rated_watts``) to
+    efficiency; intermediate loads are linearly interpolated.  The typical
+    shape is poor at low load, peaking near 50 %, dipping slightly at 100 %.
+    """
+
+    rated_watts: float = 1200.0
+    efficiency_curve: tuple[tuple[float, float], ...] = (
+        (0.0, 0.60), (0.2, 0.82), (0.5, 0.90), (1.0, 0.87),
+    )
+
+    def __post_init__(self) -> None:
+        if self.rated_watts <= 0:
+            raise HardwareError("PSU rating must be positive")
+        curve = self.efficiency_curve
+        if len(curve) < 2:
+            raise HardwareError("efficiency curve needs >= 2 points")
+        loads = [p[0] for p in curve]
+        if loads != sorted(loads) or loads[0] != 0.0:
+            raise HardwareError("efficiency curve must start at load 0 "
+                                "and be sorted by load")
+        if any(not 0 < eff <= 1 for _, eff in curve):
+            raise HardwareError("efficiencies must be in (0, 1]")
+
+    def efficiency(self, dc_watts: float) -> float:
+        """Interpolated efficiency at the given DC output power."""
+        if dc_watts < 0:
+            raise HardwareError(f"negative DC power {dc_watts}")
+        load = min(dc_watts / self.rated_watts, self.efficiency_curve[-1][0])
+        curve = self.efficiency_curve
+        for (l0, e0), (l1, e1) in zip(curve, curve[1:]):
+            if load <= l1:
+                if l1 == l0:
+                    return e1
+                frac = (load - l0) / (l1 - l0)
+                return e0 + frac * (e1 - e0)
+        return curve[-1][1]
+
+    def input_watts(self, dc_watts: float) -> float:
+        """AC input power required to deliver ``dc_watts``."""
+        if dc_watts == 0:
+            return 0.0
+        return dc_watts / self.efficiency(dc_watts)
+
+
+@dataclass(frozen=True)
+class BurdenModel:
+    """Wall/facility power as a function of component power.
+
+    ``cooling_overhead`` is the [PBS+03] burdening factor: extra facility
+    Watts per Watt delivered to the IT equipment (0.5-1.0 in the paper).
+    """
+
+    psu: Optional[PsuSpec] = None
+    cooling_overhead: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cooling_overhead < 0:
+            raise HardwareError("cooling overhead cannot be negative")
+
+    def wall_power_watts(self, dc_watts: float) -> float:
+        """Facility power for a given component power."""
+        if dc_watts < 0:
+            raise HardwareError(f"negative DC power {dc_watts}")
+        ac = self.psu.input_watts(dc_watts) if self.psu else dc_watts
+        return ac * (1.0 + self.cooling_overhead)
+
+    def pue(self, dc_watts: float) -> float:
+        """Power usage effectiveness at the given load."""
+        if dc_watts <= 0:
+            raise HardwareError("PUE undefined at zero load")
+        return self.wall_power_watts(dc_watts) / dc_watts
+
+
+def aggregate_efficiency(psus: Sequence[PsuSpec], dc_watts: float) -> float:
+    """Efficiency of load shared evenly across multiple supplies."""
+    if not psus:
+        raise HardwareError("need at least one PSU")
+    share = dc_watts / len(psus)
+    total_in = sum(p.input_watts(share) for p in psus)
+    if total_in == 0:
+        return 1.0
+    return dc_watts / total_in

@@ -1,0 +1,248 @@
+"""RAID arrays over disk or SSD models.
+
+The paper's Figure 1 system striped a 256 GB database across 36-204
+spindles in RAID 5; repartitioning across fewer disks was "the most
+effective means of varying power use".  :class:`RaidArray` stripes
+requests across its members, runs the per-member transfers as parallel
+simulation processes, and models RAID-5 parity overheads for writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Hashable, Optional, Sequence, Union
+
+from repro.errors import HardwareError
+from repro.hardware.disk import HardDisk
+from repro.hardware.ssd import FlashSsd
+from repro.units import KIB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+Member = Union[HardDisk, FlashSsd]
+
+
+class RaidLevel(enum.Enum):
+    """Supported array organizations."""
+
+    RAID0 = "raid0"
+    RAID5 = "raid5"
+
+
+class RaidArray:
+    """A striped array of homogeneous members."""
+
+    def __init__(self, sim: "Simulation", members: Sequence[Member],
+                 level: RaidLevel = RaidLevel.RAID0,
+                 stripe_unit_bytes: int = 256 * KIB,
+                 name: str = "raid") -> None:
+        if not members:
+            raise HardwareError(f"{name}: array needs at least one member")
+        if level is RaidLevel.RAID5 and len(members) < 3:
+            raise HardwareError(f"{name}: RAID 5 needs at least 3 members")
+        if stripe_unit_bytes <= 0:
+            raise HardwareError(f"{name}: stripe unit must be positive")
+        self.sim = sim
+        self.members = list(members)
+        self.level = level
+        self.stripe_unit_bytes = stripe_unit_bytes
+        self.name = name
+        self._failed: set[int] = set()
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity: parity costs one member's worth under RAID 5."""
+        per_member = min(m.spec.capacity_bytes for m in self.members)
+        if self.level is RaidLevel.RAID5:
+            return per_member * (self.width - 1)
+        return per_member * self.width
+
+    def _data_members(self) -> int:
+        """Members carrying data (not parity) in one full stripe."""
+        if self.level is RaidLevel.RAID5:
+            return self.width - 1
+        return self.width
+
+    def _split(self, nbytes: int) -> list[int]:
+        """Partition a request into per-member byte counts.
+
+        Reads (and full-stripe writes) spread evenly across the data
+        members; with rotating parity every member carries data, so reads
+        use all ``width`` spindles.
+        """
+        spindles = self.width
+        base = nbytes // spindles
+        remainder = nbytes - base * spindles
+        # Spread the remainder a stripe-unit at a time.
+        shares = []
+        left = remainder
+        for _ in range(spindles):
+            extra = min(left, self.stripe_unit_bytes)
+            shares.append(base + extra)
+            left -= extra
+        shares[-1] += left
+        return shares
+
+    # -- transfers --------------------------------------------------------
+    def read(self, nbytes: int,
+             stream: Optional[Hashable] = None) -> Generator:
+        """Read ``nbytes`` striped across the array (process)."""
+        if nbytes < 0:
+            raise HardwareError(f"{self.name}: negative read size")
+        if nbytes == 0:
+            return
+        yield from self._fan_out(self._split(nbytes), stream, is_write=False)
+
+    def write(self, nbytes: int, stream: Optional[Hashable] = None,
+              full_stripe: bool = True) -> Generator:
+        """Write ``nbytes`` (process).
+
+        RAID 5 charges parity: a full-stripe write adds ``1/(width-1)``
+        extra bytes; a small (read-modify-write) write performs the
+        classic 2-reads + 2-writes, modeled as a 4x byte amplification on
+        the affected members.
+        """
+        if nbytes < 0:
+            raise HardwareError(f"{self.name}: negative write size")
+        if nbytes == 0:
+            return
+        if self.level is RaidLevel.RAID5:
+            if full_stripe:
+                amplified = nbytes * self.width / (self.width - 1)
+            else:
+                amplified = nbytes * 4
+            nbytes = int(round(amplified))
+        yield from self._fan_out(self._split(nbytes), stream, is_write=True)
+
+    def read_batch(self, nbytes: float, n_requests: float) -> Generator:
+        """A batch of random reads striped across the array (process).
+
+        Bytes and positioning requests are spread evenly over the
+        members, which serve their shares in parallel.
+        """
+        if nbytes < 0 or n_requests < 0:
+            raise HardwareError(f"{self.name}: negative batch read")
+        if nbytes == 0 and n_requests == 0:
+            return
+        children = []
+        share_bytes = nbytes / self.width
+        share_requests = n_requests / self.width
+        for member in self.members:
+            children.append(self.sim.spawn(
+                member.read_batch(share_bytes, share_requests),
+                name=f"{self.name}.{member.name}.batch"))
+        yield self.sim.all_of(children)
+
+    def _fan_out(self, shares: list[int], stream: Optional[Hashable],
+                 is_write: bool) -> Generator:
+        if self._failed and not is_write:
+            shares = self._degrade_shares(shares)
+        children = []
+        for index, (member, share) in enumerate(zip(self.members, shares)):
+            if share <= 0 or index in self._failed:
+                continue
+            op = member.write if is_write else member.read
+            children.append(self.sim.spawn(
+                op(share, stream=stream),
+                name=f"{self.name}.{member.name}"))
+        if children:
+            yield self.sim.all_of(children)
+
+    def _degrade_shares(self, shares: list[int]) -> list[int]:
+        """Degraded RAID 5 read: the failed member's share is
+        reconstructed by reading the corresponding chunks (data +
+        parity) from every survivor — each survivor reads its own share
+        plus an equal slice of the lost one."""
+        lost = sum(shares[i] for i in self._failed)
+        survivors = [i for i in range(self.width) if i not in self._failed]
+        extra, remainder = divmod(lost, len(survivors))
+        out = list(shares)
+        for position, index in enumerate(survivors):
+            out[index] += extra + (1 if position < remainder else 0)
+        return out
+
+    # -- service-time arithmetic --------------------------------------------
+    def read_seconds(self, nbytes: int, positioned: bool = True) -> float:
+        """Idealized (queue-free) service time: the slowest member share."""
+        worst = 0.0
+        for member, share in zip(self.members, self._split(nbytes)):
+            if isinstance(member, HardDisk):
+                t = member.service_seconds(share, positioned)
+            else:
+                t = member.read_seconds(share)
+            worst = max(worst, t)
+        return worst
+
+    # -- failure and rebuild (RAID 5 degraded mode) ----------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the array is running with a failed member."""
+        return bool(self._failed)
+
+    def fail_member(self, index: int) -> None:
+        """Mark one member failed (RAID 5 only; a second failure is
+        data loss and is rejected)."""
+        if self.level is not RaidLevel.RAID5:
+            raise HardwareError(
+                f"{self.name}: only RAID 5 supports degraded operation")
+        if not 0 <= index < self.width:
+            raise HardwareError(f"{self.name}: no member {index}")
+        if self._failed and index not in self._failed:
+            raise HardwareError(
+                f"{self.name}: a second failure loses data")
+        self._failed.add(index)
+
+    def repair_member(self, index: int) -> None:
+        """Mark a member healthy again (after rebuild)."""
+        self._failed.discard(index)
+
+    def rebuild(self, index: int) -> Generator:
+        """Rebuild a failed member onto a fresh spare (process).
+
+        Reads every survivor's full data share and writes the
+        reconstructed content to the replaced member — the energy bill
+        of redundancy repair.
+        """
+        if index not in self._failed:
+            raise HardwareError(f"{self.name}: member {index} not failed")
+        per_member = min(m.spec.capacity_bytes for m in self.members)
+        readers = [self.sim.spawn(member.read(per_member,
+                                              stream=f"rebuild-{i}"),
+                                  name=f"{self.name}.rebuild.read{i}")
+                   for i, member in enumerate(self.members)
+                   if i != index]
+        writer = self.sim.spawn(
+            self.members[index].write(per_member, stream="rebuild-w"),
+            name=f"{self.name}.rebuild.write")
+        yield self.sim.all_of([*readers, writer])
+        self.repair_member(index)
+
+    # -- power management ---------------------------------------------------
+    def spin_down(self) -> Generator:
+        """Spin down every rotating member (process)."""
+        children = [self.sim.spawn(m.spin_down())
+                    for m in self.members if isinstance(m, HardDisk)]
+        if children:
+            yield self.sim.all_of(children)
+
+    def spin_up(self) -> Generator:
+        """Spin up every rotating member (process)."""
+        children = [self.sim.spawn(m.spin_up())
+                    for m in self.members if isinstance(m, HardDisk)]
+        if children:
+            yield self.sim.all_of(children)
+
+    def power_watts(self) -> float:
+        """Instantaneous aggregate power of the members."""
+        return sum(m.power_watts for m in self.members)
+
+    def __repr__(self) -> str:
+        return (f"RaidArray({self.name!r}, {self.level.value}, "
+                f"width={self.width})")

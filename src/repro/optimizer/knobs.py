@@ -1,0 +1,67 @@
+"""System-wide configuration knobs (paper §4.1, approach a).
+
+"Use existing system-wide knobs and internal query optimization
+parameters to achieve the most energy-efficient configuration."  The
+knob set below is what the A2 experiment sweeps: DVFS level, degree of
+parallelism, operator memory grant, and compression choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import OptimizerError
+from repro.relational.executor import ExecutionContext
+from repro.relational.operators.base import CostParameters
+from repro.units import MIB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.server import Server
+    from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class SystemKnobs:
+    """One configuration point of the system."""
+
+    dvfs_fraction: float = 1.0
+    parallelism: int = 1
+    memory_grant_bytes: Optional[float] = None
+    #: per-column codec names for newly-created column tables
+    compression: dict[str, str] = field(default_factory=dict)
+    chunk_bytes: float = 4 * MIB
+    prefetch_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.dvfs_fraction <= 1.0:
+            raise OptimizerError("DVFS fraction must be in (0, 1]")
+        if self.parallelism < 1:
+            raise OptimizerError("parallelism must be >= 1")
+        if self.memory_grant_bytes is not None and self.memory_grant_bytes < 0:
+            raise OptimizerError("memory grant cannot be negative")
+
+    def with_(self, **changes) -> "SystemKnobs":
+        """A copy with some fields changed (sweep helper)."""
+        return replace(self, **changes)
+
+    def apply(self, server: "Server") -> None:
+        """Push hardware-level knobs onto a server (CPU must be idle)."""
+        if self.dvfs_fraction not in server.cpu.spec.dvfs_fractions:
+            raise OptimizerError(
+                f"server offers DVFS fractions "
+                f"{server.cpu.spec.dvfs_fractions}, not {self.dvfs_fraction}")
+        server.cpu.set_dvfs(self.dvfs_fraction)
+
+    def execution_context(self, sim: "Simulation", server: "Server",
+                          scale: float = 1.0,
+                          params: Optional[CostParameters] = None
+                          ) -> ExecutionContext:
+        """Build an executor context reflecting these knobs."""
+        return ExecutionContext(
+            sim=sim, server=server,
+            params=params or CostParameters(),
+            scale=scale,
+            chunk_bytes=self.chunk_bytes,
+            prefetch_depth=self.prefetch_depth,
+        )

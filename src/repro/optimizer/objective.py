@@ -1,0 +1,68 @@
+"""Optimization objectives.
+
+"Optimizing for performance is different from optimizing for energy
+efficiency" (§3.2).  The planner minimizes one of these scores:
+
+* ``TIME`` — classic response-time optimization;
+* ``ENERGY`` — minimize Joules (whole-system accounting);
+* ``ENERGY_ATTRIBUTED`` — minimize busy-time Joules (Figure 2 style);
+* ``EDP`` — energy-delay product, the usual compromise metric.
+
+:class:`WeightedObjective` blends normalized time and energy for DBAs who
+want a dial rather than a switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.optimizer.cost import PlanCost
+
+
+class Objective(enum.Enum):
+    """What the planner minimizes."""
+
+    TIME = "time"
+    ENERGY = "energy"
+    ENERGY_ATTRIBUTED = "energy-attributed"
+    EDP = "edp"
+
+
+def score(cost: PlanCost, objective: Objective) -> float:
+    """Scalar score of a plan under an objective (lower is better)."""
+    if objective is Objective.TIME:
+        return cost.seconds
+    if objective is Objective.ENERGY:
+        return cost.energy_full_joules
+    if objective is Objective.ENERGY_ATTRIBUTED:
+        return cost.energy_attributed_joules
+    if objective is Objective.EDP:
+        return cost.energy_delay_product()
+    raise OptimizerError(f"unknown objective {objective!r}")
+
+
+@dataclass(frozen=True)
+class WeightedObjective:
+    """``alpha * time + (1 - alpha) * energy``, both normalized.
+
+    ``time_scale`` and ``energy_scale`` set the normalization (e.g. an
+    SLA bound and an energy budget); alpha=1 is pure performance,
+    alpha=0 pure energy.
+    """
+
+    alpha: float
+    time_scale_seconds: float = 1.0
+    energy_scale_joules: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise OptimizerError("alpha must be in [0, 1]")
+        if self.time_scale_seconds <= 0 or self.energy_scale_joules <= 0:
+            raise OptimizerError("normalization scales must be positive")
+
+    def score(self, cost: PlanCost) -> float:
+        return (self.alpha * cost.seconds / self.time_scale_seconds
+                + (1.0 - self.alpha) * cost.energy_full_joules
+                / self.energy_scale_joules)

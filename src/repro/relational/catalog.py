@@ -1,0 +1,59 @@
+"""System catalog: schemas and statistics by table name."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CatalogError
+from repro.relational.schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.optimizer.stats import TableStatistics
+
+
+class Catalog:
+    """Registered schemas plus optimizer statistics."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, TableSchema] = {}
+        self._stats: dict[str, "TableStatistics"] = {}
+
+    def register(self, schema: TableSchema) -> TableSchema:
+        """Add a schema; duplicate names are an error."""
+        if schema.name in self._schemas:
+            raise CatalogError(f"table {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def unregister(self, name: str) -> None:
+        """Remove a schema and any statistics for it."""
+        if name not in self._schemas:
+            raise CatalogError(f"no table named {name!r}")
+        del self._schemas[name]
+        self._stats.pop(name, None)
+
+    def schema(self, name: str) -> TableSchema:
+        """Schema by table name."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    # -- statistics ---------------------------------------------------------
+    def set_statistics(self, name: str, stats: "TableStatistics") -> None:
+        """Attach optimizer statistics to a registered table."""
+        if name not in self._schemas:
+            raise CatalogError(f"no table named {name!r}")
+        self._stats[name] = stats
+
+    def statistics(self, name: str) -> Optional["TableStatistics"]:
+        """Statistics for a table, or None if never analyzed."""
+        if name not in self._schemas:
+            raise CatalogError(f"no table named {name!r}")
+        return self._stats.get(name)

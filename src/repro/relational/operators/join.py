@@ -1,0 +1,241 @@
+"""Join operators: hash join, block nested-loop join, sort-merge join.
+
+§4.1 singles these out: hash join "relies on using a large chunk of
+memory for building and maintaining the hash table.  From a power
+perspective, these are expensive operations and may tip the balance in
+favor of nested-loop join in more occasions than before."  The hash join
+therefore records its hash-table memory grant, which the replay phase
+holds in DRAM for the probe pipeline's duration; the nested-loop join
+instead re-reads its inner table per outer block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.relational.expr import Expr, make_layout
+from repro.relational.operators.base import CostCollector, Operator
+from repro.relational.operators.scan import TableScan
+
+
+def _check_keys(side: Operator, keys: Sequence[str], role: str) -> None:
+    missing = set(keys) - set(side.output_columns)
+    if missing:
+        raise PlanError(f"{role} keys {missing} not produced by "
+                        f"{side.describe()}")
+
+
+def _joined_columns(left: Operator, right: Operator) -> list[str]:
+    overlap = set(left.output_columns) & set(right.output_columns)
+    if overlap:
+        raise PlanError(
+            f"join sides share column names {sorted(overlap)}; "
+            "project/rename before joining")
+    return left.output_columns + right.output_columns
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on one side, stream the other.
+
+    Output columns are build-side columns followed by probe-side columns.
+    """
+
+    def __init__(self, build: Operator, probe: Operator,
+                 build_keys: Sequence[str],
+                 probe_keys: Sequence[str]) -> None:
+        if len(build_keys) != len(probe_keys) or not build_keys:
+            raise PlanError("key lists must be same non-zero length")
+        _check_keys(build, build_keys, "build")
+        _check_keys(probe, probe_keys, "probe")
+        super().__init__(_joined_columns(build, probe))
+        self.build = build
+        self.probe = probe
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+
+    def children(self) -> list[Operator]:
+        return [self.build, self.probe]
+
+    def hash_table_bytes(self, build_rows: list[tuple]) -> float:
+        """Estimated resident size of the hash table."""
+        if not build_rows:
+            return 0.0
+        # rough per-row footprint: 8 bytes/field + bucket overhead
+        per_row = 8 * len(self.build.output_columns) + 48
+        return len(build_rows) * per_row
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        params = collector.params
+        build_rows = self.build.execute(collector)
+        collector.charge_cpu(
+            len(build_rows) * params.cycles_per_hash_build_tuple)
+        # The build phase ends its pipeline: the hash table materializes.
+        collector.break_pipeline(label=f"build:{self.describe()}")
+
+        build_layout = make_layout(self.build.output_columns)
+        build_positions = [build_layout[k] for k in self.build_keys]
+        table: dict[tuple, list[tuple]] = {}
+        for row in build_rows:
+            key = tuple(row[p] for p in build_positions)
+            table.setdefault(key, []).append(row)
+
+        probe_rows = self.probe.execute(collector)
+        # The probe pipeline holds the hash table in memory end to end.
+        grant = (self.hash_table_bytes(build_rows)
+                 * params.hash_table_overhead_factor)
+        collector.charge_dram_grant(grant)
+        probe_layout = make_layout(self.probe.output_columns)
+        probe_positions = [probe_layout[k] for k in self.probe_keys]
+        out: list[tuple] = []
+        for row in probe_rows:
+            key = tuple(row[p] for p in probe_positions)
+            for match in table.get(key, ()):
+                out.append(match + row)
+        collector.charge_cpu(
+            len(probe_rows) * params.cycles_per_hash_probe_tuple
+            + len(out) * params.cycles_per_output_tuple)
+        return out
+
+    def describe(self) -> str:
+        return f"HashJoin({self.build_keys} = {self.probe_keys})"
+
+
+class BlockNestedLoopJoin(Operator):
+    """Join by re-scanning the inner table once per outer block.
+
+    Uses almost no memory (one outer block), at the price of repeated
+    inner I/O — the §4.1 memory-power counterpoint to the hash join.
+    The inner side must be a :class:`TableScan` so re-reads can be
+    charged against its table.
+    """
+
+    def __init__(self, outer: Operator, inner: TableScan,
+                 predicate: Expr, block_rows: int = 1024) -> None:
+        if not isinstance(inner, TableScan):
+            raise PlanError("nested-loop inner side must be a TableScan")
+        if block_rows < 1:
+            raise PlanError("block_rows must be >= 1")
+        columns = _joined_columns(outer, inner)
+        missing = predicate.columns() - set(columns)
+        if missing:
+            raise PlanError(f"join predicate references {missing}")
+        super().__init__(columns)
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.block_rows = block_rows
+
+    def children(self) -> list[Operator]:
+        return [self.outer, self.inner]
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        params = collector.params
+        outer_rows = self.outer.execute(collector)
+        n_blocks = max(1, -(-len(outer_rows) // self.block_rows))
+        # Evaluate the inner scan once for correctness; it charged its
+        # own single read + CPU.  Charge the (n_blocks - 1) re-reads.
+        inner_rows = self.inner.execute(collector)
+        rescan_bytes = self.inner.table.scan_bytes(
+            self.inner.output_columns) * (n_blocks - 1)
+        collector.charge_io(self.inner.table.placement, rescan_bytes,
+                            self.inner.stream_id)
+        rescan_cpu = (
+            self.inner.table.plain_bytes(self.inner.output_columns)
+            * params.cycles_per_scan_byte
+            + self.inner.table.row_count * params.cycles_per_tuple_overhead
+        ) * (n_blocks - 1)
+        collector.charge_cpu(rescan_cpu)
+
+        layout = make_layout(self.output_columns)
+        predicate = self.predicate
+        out = []
+        for outer_row in outer_rows:
+            for inner_row in inner_rows:
+                combined = outer_row + inner_row
+                if predicate.evaluate(combined, layout) is True:
+                    out.append(combined)
+        collector.charge_cpu_quadratic(
+            len(outer_rows) * len(inner_rows) * params.cycles_per_join_pair)
+        collector.charge_cpu(len(out) * params.cycles_per_output_tuple)
+        return out
+
+    def describe(self) -> str:
+        return f"BlockNestedLoopJoin({self.predicate!r})"
+
+
+class SortMergeJoin(Operator):
+    """Equi-join over inputs sorted here on the join keys.
+
+    Both inputs are materialized and sorted (blocking), then merged.
+    """
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_keys: Sequence[str],
+                 right_keys: Sequence[str]) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("key lists must be same non-zero length")
+        _check_keys(left, left_keys, "left")
+        _check_keys(right, right_keys, "right")
+        super().__init__(_joined_columns(left, right))
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    @staticmethod
+    def _sort_cycles(n: int, compare_cycles: float) -> float:
+        if n < 2:
+            return 0.0
+        return n * max(1.0, (n - 1).bit_length()) * compare_cycles
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        params = collector.params
+        left_rows = self.left.execute(collector)
+        collector.charge_cpu(
+            self._sort_cycles(len(left_rows), params.cycles_per_sort_compare))
+        collector.break_pipeline(label=f"sort-left:{self.describe()}")
+        right_rows = self.right.execute(collector)
+        collector.charge_cpu(
+            self._sort_cycles(len(right_rows), params.cycles_per_sort_compare))
+        collector.break_pipeline(label=f"sort-right:{self.describe()}")
+
+        left_layout = make_layout(self.left.output_columns)
+        right_layout = make_layout(self.right.output_columns)
+        lpos = [left_layout[k] for k in self.left_keys]
+        rpos = [right_layout[k] for k in self.right_keys]
+        left_sorted = sorted(left_rows, key=lambda r: tuple(r[p] for p in lpos))
+        right_sorted = sorted(right_rows,
+                              key=lambda r: tuple(r[p] for p in rpos))
+        out: list[tuple] = []
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            lkey = tuple(left_sorted[i][p] for p in lpos)
+            rkey = tuple(right_sorted[j][p] for p in rpos)
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                j_end = j
+                while (j_end < len(right_sorted)
+                       and tuple(right_sorted[j_end][p] for p in rpos) == lkey):
+                    j_end += 1
+                i_end = i
+                while (i_end < len(left_sorted)
+                       and tuple(left_sorted[i_end][p] for p in lpos) == lkey):
+                    i_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        out.append(left_sorted[li] + right_sorted[rj])
+                i, j = i_end, j_end
+        collector.charge_cpu(
+            (len(left_rows) + len(right_rows)) * params.cycles_per_merge_tuple
+            + len(out) * params.cycles_per_output_tuple)
+        return out
+
+    def describe(self) -> str:
+        return f"SortMergeJoin({self.left_keys} = {self.right_keys})"

@@ -1,0 +1,35 @@
+"""Limit (and offset) operator."""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.relational.operators.base import CostCollector, Operator
+
+
+class Limit(Operator):
+    """Pass through at most ``count`` tuples, after skipping ``offset``.
+
+    Note: because evaluation is materialized, upstream costs are charged
+    in full — matching a blocking plan; a true streaming early-out is a
+    possible refinement the optimizer does not currently model either.
+    """
+
+    def __init__(self, child: Operator, count: int, offset: int = 0) -> None:
+        if count < 0 or offset < 0:
+            raise PlanError("limit/offset cannot be negative")
+        super().__init__(child.output_columns)
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        rows = self.child.execute(collector)
+        return rows[self.offset:self.offset + self.count]
+
+    def describe(self) -> str:
+        if self.offset:
+            return f"Limit({self.count}, offset={self.offset})"
+        return f"Limit({self.count})"

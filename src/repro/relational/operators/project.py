@@ -1,0 +1,57 @@
+"""Projection: column selection and computed expressions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import PlanError
+from repro.relational.expr import ColumnRef, Expr, make_layout
+from repro.relational.operators.base import CostCollector, Operator
+
+Projection = Union[str, tuple[str, Expr]]
+
+
+class Project(Operator):
+    """Produce named outputs: plain columns or ``(alias, expression)``."""
+
+    def __init__(self, child: Operator,
+                 projections: Sequence[Projection]) -> None:
+        if not projections:
+            raise PlanError("projection list cannot be empty")
+        names: list[str] = []
+        exprs: list[Expr] = []
+        available = set(child.output_columns)
+        for item in projections:
+            if isinstance(item, str):
+                if item not in available:
+                    raise PlanError(
+                        f"column {item!r} not produced by {child.describe()}")
+                names.append(item)
+                exprs.append(ColumnRef(item))
+            else:
+                alias, expr = item
+                missing = expr.columns() - available
+                if missing:
+                    raise PlanError(
+                        f"projection {alias!r} references missing columns "
+                        f"{missing}")
+                names.append(alias)
+                exprs.append(expr)
+        super().__init__(names)
+        self.child = child
+        self.exprs = exprs
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        rows = self.child.execute(collector)
+        per_tuple = sum(e.cycles() for e in self.exprs)
+        collector.charge_cpu(len(rows) * per_tuple)
+        layout = make_layout(self.child.output_columns)
+        exprs = self.exprs
+        return [tuple(e.evaluate(row, layout) for e in exprs)
+                for row in rows]
+
+    def describe(self) -> str:
+        return f"Project({self.output_columns})"

@@ -1,0 +1,109 @@
+"""Sort operator: in-memory or external merge sort.
+
+External sorting spills sorted runs to a temporary placement and merges
+them back — both the spill writes and the merge reads are charged, so
+the optimizer's memory-grant knob (§4.1) has a real energy consequence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.errors import PlanError
+from repro.relational.expr import make_layout
+from repro.relational.operators.base import CostCollector, Operator
+
+_sort_counter = itertools.count()
+
+
+class Sort(Operator):
+    """Order tuples by key columns (ascending by default)."""
+
+    #: rough per-field in-memory footprint used for spill decisions
+    BYTES_PER_FIELD = 16
+
+    def __init__(self, child: Operator, keys: Sequence[str],
+                 descending: Optional[Sequence[bool]] = None,
+                 memory_grant_bytes: Optional[float] = None,
+                 spill_placement=None) -> None:
+        if not keys:
+            raise PlanError("sort needs at least one key")
+        missing = set(keys) - set(child.output_columns)
+        if missing:
+            raise PlanError(f"sort keys {missing} not produced by child")
+        if descending is not None and len(descending) != len(keys):
+            raise PlanError("descending flags must match key count")
+        super().__init__(child.output_columns)
+        self.child = child
+        self.keys = list(keys)
+        self.descending = list(descending) if descending else \
+            [False] * len(keys)
+        self.memory_grant_bytes = memory_grant_bytes
+        self.spill_placement = spill_placement
+        self.stream_id = f"sort-spill-{next(_sort_counter)}"
+        self.spilled = False
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def _estimated_bytes(self, rows: list[tuple]) -> float:
+        return len(rows) * len(self.output_columns) * self.BYTES_PER_FIELD
+
+    def _sort_cycles(self, n: int, params) -> float:
+        if n < 2:
+            return 0.0
+        return n * max(1.0, (n - 1).bit_length()) * \
+            params.cycles_per_sort_compare
+
+    def execute(self, collector: CostCollector) -> list[tuple]:
+        params = collector.params
+        rows = self.child.execute(collector)
+        data_bytes = self._estimated_bytes(rows)
+        grant = self.memory_grant_bytes
+        self.spilled = (grant is not None and data_bytes > grant
+                        and self.spill_placement is not None)
+        if self.spilled:
+            # Run generation: sort grant-sized chunks, write them out.
+            assert grant is not None
+            n_runs = max(2, int(-(-data_bytes // grant)))
+            run_rows = max(1, len(rows) // n_runs)
+            collector.charge_cpu(
+                n_runs * self._sort_cycles(run_rows, params))
+            spill_bytes = data_bytes * params.sort_run_overhead_factor
+            collector.charge_io(self.spill_placement, spill_bytes,
+                                self.stream_id, is_write=True)
+            collector.break_pipeline(label="sort-runs")
+            # Merge phase: read runs back, k-way merge.
+            collector.charge_io(self.spill_placement, spill_bytes,
+                                self.stream_id)
+            merge_passes = max(1.0, _log_base(n_runs, 16))
+            collector.charge_cpu(
+                len(rows) * params.cycles_per_merge_tuple * merge_passes)
+        else:
+            collector.charge_cpu(self._sort_cycles(len(rows), params))
+            # an in-memory sort holds the whole input resident (§4.1:
+            # operator memory grants are power-expensive)
+            collector.charge_dram_grant(data_bytes)
+            collector.break_pipeline(label="sort")
+            # emitting the sorted result starts the next pipeline
+            collector.charge_cpu(len(rows) * params.cycles_per_output_tuple)
+
+        layout = make_layout(self.output_columns)
+        positions = [layout[k] for k in self.keys]
+        ordered = rows
+        # Stable multi-key sort: apply keys right-to-left.
+        for position, desc in reversed(list(zip(positions, self.descending))):
+            ordered = sorted(ordered, key=lambda r: r[position], reverse=desc)
+        return list(ordered)
+
+    def describe(self) -> str:
+        direction = ["desc" if d else "asc" for d in self.descending]
+        return f"Sort({list(zip(self.keys, direction))})"
+
+
+def _log_base(n: float, base: float) -> float:
+    import math
+    if n <= 1:
+        return 1.0
+    return math.ceil(math.log(n, base))

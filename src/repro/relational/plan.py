@@ -1,0 +1,77 @@
+"""Plan utilities: validation, pretty-printing, pipeline preview."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PlanError
+from repro.relational.operators.base import CostCollector, Operator
+
+
+def explain(root: Operator) -> str:
+    """Render an operator tree as an indented plan, root first."""
+    lines: list[str] = []
+
+    def walk(op: Operator, depth: int) -> None:
+        lines.append("  " * depth + "-> " + op.describe())
+        for child in op.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def validate(root: Operator) -> None:
+    """Structural checks: acyclicity and output-column consistency."""
+    seen: set[int] = set()
+
+    def walk(op: Operator) -> None:
+        if id(op) in seen:
+            raise PlanError(
+                f"operator {op.describe()} appears twice in the plan; "
+                "operator trees must not share nodes")
+        seen.add(id(op))
+        if not op.output_columns:
+            raise PlanError(f"{op.describe()} produces no columns")
+        for child in op.children():
+            walk(child)
+
+    walk(root)
+
+
+def operator_count(root: Operator) -> int:
+    """Number of operators in the tree."""
+    return 1 + sum(operator_count(c) for c in root.children())
+
+
+def collect_scans(root: Operator) -> list[Operator]:
+    """All leaf scan operators, left to right."""
+    if not root.children():
+        return [root]
+    out: list[Operator] = []
+    for child in root.children():
+        out.extend(collect_scans(child))
+    return out
+
+
+def preview_pipelines(plan_builder: Callable[[], Operator],
+                      scale: float = 1.0) -> list[dict]:
+    """Dry-run a plan (built fresh by ``plan_builder``) and summarize its
+    pipelines: CPU cycles, I/O bytes, memory grants.
+
+    Takes a builder rather than a plan because evaluation is effectful
+    (stream ids, spill flags); callers keep their real plan pristine.
+    """
+    collector = CostCollector(scale=scale)
+    plan_builder().execute(collector)
+    return [
+        {
+            "index": p.index,
+            "label": p.label,
+            "cpu_cycles": p.cpu_cycles,
+            "io_bytes": p.io_bytes,
+            "dram_grant_bytes": p.dram_grant_bytes,
+            "parallelism": p.parallelism,
+        }
+        for p in collector.pipelines
+    ]

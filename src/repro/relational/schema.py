@@ -1,0 +1,151 @@
+"""Table schemas and record (row) encoding.
+
+Rows are encoded with a null bitmap followed by the encoded values of
+the non-NULL fields, so row-store tables have realistic physical sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a type, and a nullability flag."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"bad column name {self.name!r}")
+
+
+class TableSchema:
+    """An ordered list of named, typed columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name:
+            raise SchemaError("table name cannot be empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns = list(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    # -- lookup ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._index
+
+    def column(self, name: str) -> Column:
+        """Column by name."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Ordinal position of a column."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def project(self, names: Iterable[str], new_name: str = "") -> "TableSchema":
+        """A schema containing only the given columns, in the given order."""
+        cols = [self.column(n) for n in names]
+        return TableSchema(new_name or f"{self.name}_proj", cols)
+
+    # -- row validation and encoding --------------------------------------
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Check arity, types, and nullability of a row."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r}: row has {len(row)} fields, "
+                f"schema has {len(self.columns)}")
+        for value, col in zip(row, self.columns):
+            if value is None:
+                if not col.nullable:
+                    raise SchemaError(
+                        f"column {col.name!r} is NOT NULL")
+                continue
+            col.dtype.validate(value)
+
+    def encode_row(self, row: Sequence[Any]) -> bytes:
+        """Encode a row: null bitmap + encoded non-NULL values."""
+        self.validate_row(row)
+        nbytes = (len(self.columns) + 7) // 8
+        bitmap = bytearray(nbytes)
+        parts = [bytes(nbytes)]  # placeholder, replaced below
+        encoded = bytearray()
+        for i, (value, col) in enumerate(zip(row, self.columns)):
+            if value is None:
+                bitmap[i // 8] |= 1 << (i % 8)
+            else:
+                encoded += col.dtype.encode(value)
+        parts[0] = bytes(bitmap)
+        return bytes(bitmap) + bytes(encoded)
+
+    def decode_row(self, data: bytes) -> tuple[Any, ...]:
+        """Decode a row previously produced by :meth:`encode_row`."""
+        nbytes = (len(self.columns) + 7) // 8
+        if len(data) < nbytes:
+            raise SchemaError("record shorter than its null bitmap")
+        bitmap = data[:nbytes]
+        offset = nbytes
+        values: list[Any] = []
+        for i, col in enumerate(self.columns):
+            if bitmap[i // 8] & (1 << (i % 8)):
+                values.append(None)
+                continue
+            value, consumed = col.dtype.decode(data, offset)
+            offset += consumed
+            values.append(value)
+        if offset != len(data):
+            raise SchemaError(
+                f"record has {len(data) - offset} trailing bytes")
+        return tuple(values)
+
+    def row_size_bytes(self, row: Sequence[Any]) -> int:
+        """Encoded size of a row without materializing the bytes."""
+        nbytes = (len(self.columns) + 7) // 8
+        total = nbytes
+        for value, col in zip(row, self.columns):
+            if value is not None:
+                total += col.dtype.encoded_size(value)
+        return total
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+@dataclass
+class TableStatsSnapshot:
+    """Physical statistics the optimizer reads from the catalog."""
+
+    row_count: int = 0
+    total_bytes: int = 0
+    column_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_row_bytes(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.total_bytes / self.row_count

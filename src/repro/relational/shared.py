@@ -1,0 +1,89 @@
+"""Cooperative (shared) scans: work sharing across queries (paper §5.2).
+
+"Techniques that enable and encourage work sharing across queries will
+become increasingly attractive."  When several concurrent queries scan
+the same table, one *leader* drives the physical pass while the
+*followers* piggyback on its I/O, paying only their own CPU — the
+cooperative-scan design of MonetDB/X100 and Blink, here with an energy
+meter attached.
+
+:class:`SharedScanSession` rewrites a batch of plan builders so that
+exactly one scan of each shared table charges I/O, then runs the whole
+batch concurrently on the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ExecutionError
+from repro.relational.executor import Executor, QueryResult
+from repro.relational.operators import Operator, TableScan
+
+PlanBuilder = Callable[[], Operator]
+
+
+def _scans_of(root: Operator) -> list[TableScan]:
+    out = []
+    if isinstance(root, TableScan):
+        out.append(root)
+    for child in root.children():
+        out.extend(_scans_of(child))
+    return out
+
+
+class SharedScanSession:
+    """Run a batch of queries with shared table passes."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        #: table names whose pass already has a leader in this batch
+        self._led_tables: set[str] = set()
+
+    def _mark_shared(self, root: Operator) -> int:
+        """Demote this plan's scans of already-led tables to followers.
+
+        Returns how many scans were demoted.  The first plan to scan a
+        table becomes (stays) its leader.
+        """
+        demoted = 0
+        for scan in _scans_of(root):
+            if scan.shared_pass:
+                continue
+            if scan.table.name in self._led_tables:
+                scan.shared_pass = True
+                demoted += 1
+            else:
+                self._led_tables.add(scan.table.name)
+        return demoted
+
+    def run_batch(self, builders: Sequence[PlanBuilder]
+                  ) -> list[QueryResult]:
+        """Execute all plans concurrently with shared passes."""
+        if not builders:
+            raise ExecutionError("empty query batch")
+        sim = self.executor.ctx.sim
+        self._led_tables.clear()
+        plans = []
+        for builder in builders:
+            plan = builder()
+            self._mark_shared(plan)
+            plans.append(plan)
+        processes = [sim.spawn(self.executor.run_process(plan),
+                               name=f"shared-q{i}")
+                     for i, plan in enumerate(plans)]
+        return sim.run(until=sim.all_of(processes))
+
+
+def run_independently(executor: Executor,
+                      builders: Sequence[PlanBuilder]
+                      ) -> list[QueryResult]:
+    """The baseline: every query performs its own physical pass,
+    still running concurrently on the shared hardware."""
+    if not builders:
+        raise ExecutionError("empty query batch")
+    sim = executor.ctx.sim
+    processes = [sim.spawn(executor.run_process(builder()),
+                           name=f"indep-q{i}")
+                 for i, builder in enumerate(builders)]
+    return sim.run(until=sim.all_of(processes))

@@ -1,0 +1,112 @@
+"""Column data types and their physical encodings.
+
+The storage engine is byte-accurate: every type knows how to encode a
+value to bytes and back, so table sizes, compression ratios, and
+therefore simulated I/O times are grounded in real encoded bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from datetime import date, timedelta
+from typing import Any
+
+from repro.errors import SchemaError
+
+_EPOCH = date(1970, 1, 1)
+
+
+class DataType(enum.Enum):
+    """Supported column types with fixed or variable width."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    DATE = "date"
+    VARCHAR = "varchar"
+    BOOL = "bool"
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Encoded width in bytes, or None for variable-width types."""
+        return _WIDTHS[self]
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this type."""
+        if value is None:
+            return  # NULLs are allowed in any column unless schema says not
+        expected = _PYTHON_TYPES[self]
+        if self is DataType.FLOAT64 and isinstance(value, int):
+            return  # ints are acceptable floats
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"value {value!r} is not valid for {self.value}")
+        if self is DataType.INT32 and not -2**31 <= value < 2**31:
+            raise SchemaError(f"{value} out of int32 range")
+
+    def encode(self, value: Any) -> bytes:
+        """Encode a non-NULL value to its physical bytes."""
+        if value is None:
+            raise SchemaError("cannot encode NULL; handle at record level")
+        if self is DataType.INT32:
+            return struct.pack("<i", value)
+        if self is DataType.INT64:
+            return struct.pack("<q", value)
+        if self is DataType.FLOAT64:
+            return struct.pack("<d", float(value))
+        if self is DataType.DATE:
+            return struct.pack("<i", (value - _EPOCH).days)
+        if self is DataType.BOOL:
+            return struct.pack("<?", value)
+        if self is DataType.VARCHAR:
+            raw = value.encode("utf-8")
+            return struct.pack("<I", len(raw)) + raw
+        raise SchemaError(f"unhandled type {self}")
+
+    def decode(self, data: bytes, offset: int = 0) -> tuple[Any, int]:
+        """Decode one value at ``offset``; returns (value, bytes consumed)."""
+        if self is DataType.INT32:
+            return struct.unpack_from("<i", data, offset)[0], 4
+        if self is DataType.INT64:
+            return struct.unpack_from("<q", data, offset)[0], 8
+        if self is DataType.FLOAT64:
+            return struct.unpack_from("<d", data, offset)[0], 8
+        if self is DataType.DATE:
+            days = struct.unpack_from("<i", data, offset)[0]
+            return _EPOCH + timedelta(days=days), 4
+        if self is DataType.BOOL:
+            return struct.unpack_from("<?", data, offset)[0], 1
+        if self is DataType.VARCHAR:
+            (length,) = struct.unpack_from("<I", data, offset)
+            start = offset + 4
+            raw = data[start:start + length]
+            if len(raw) != length:
+                raise SchemaError("truncated varchar")
+            return raw.decode("utf-8"), 4 + length
+        raise SchemaError(f"unhandled type {self}")
+
+    def encoded_size(self, value: Any) -> int:
+        """Bytes this value occupies when encoded."""
+        if self.fixed_width is not None:
+            return self.fixed_width
+        return 4 + len(value.encode("utf-8"))
+
+
+_WIDTHS = {
+    DataType.INT32: 4,
+    DataType.INT64: 8,
+    DataType.FLOAT64: 8,
+    DataType.DATE: 4,
+    DataType.BOOL: 1,
+    DataType.VARCHAR: None,
+}
+
+_PYTHON_TYPES = {
+    DataType.INT32: int,
+    DataType.INT64: int,
+    DataType.FLOAT64: float,
+    DataType.DATE: date,
+    DataType.BOOL: bool,
+    DataType.VARCHAR: str,
+}

@@ -1,0 +1,222 @@
+"""The discrete-event simulation engine.
+
+Processes are generators that yield :class:`~repro.sim.events.Event`
+instances; the engine resumes a process when the event it waits on
+triggers.  Scheduling is deterministic: events fire in (time, sequence)
+order, so two runs of the same simulation produce identical traces.
+
+Example
+-------
+>>> from repro.sim import Simulation
+>>> sim = Simulation()
+>>> log = []
+>>> def worker(name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker("a", 2.0))
+>>> _ = sim.spawn(worker("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process.
+
+    A ``Process`` is itself an event: it triggers with the generator's
+    return value when the generator finishes, or fails with the exception
+    that escaped it.  This lets processes wait on each other by yielding
+    the :class:`Process` object.
+    """
+
+    def __init__(self, sim: "Simulation", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__}"
+            )
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current time.
+        sim._schedule_call(self._resume_first)
+
+    def _resume_first(self) -> None:
+        self._step(None, ok=True)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event.value, ok=event.ok)
+
+    def _step(self, value: Any, ok: bool) -> None:
+        if self._triggered:
+            return
+        try:
+            if ok:
+                target = self._generator.send(value)
+            else:
+                target = self._generator.throw(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"))
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded an event from another simulation"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Abort the process by throwing :class:`SimulationError` into it."""
+        if self._triggered:
+            return
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and self._on_event in waiting.callbacks:
+            waiting.callbacks.remove(self._on_event)
+        self.sim._schedule_call(
+            lambda: self._step(SimulationError(reason), ok=False))
+
+    def __repr__(self) -> str:
+        state = "running"
+        if self._triggered:
+            state = "done" if self._ok else "failed"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulation:
+    """Event queue, clock, and process scheduler."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self.clock.now
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event bound to this simulation."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires once every given event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when the first of the given events triggers."""
+        return AnyOf(self, events)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from a generator and return its Process event."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    # -- scheduling (internal) ----------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        """Schedule a bare callback via a throwaway event."""
+        event = Event(self)
+        event.add_callback(lambda _evt: fn())
+        event._triggered = True
+        event._ok = True
+        self._schedule_event(event, delay=delay)
+
+    # -- running ------------------------------------------------------------
+    def step(self) -> None:
+        """Dispatch the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("no events left to step")
+        when, _seq, event = heapq.heappop(self._queue)
+        self.clock.advance_to(when)
+        event._dispatched = True
+        callbacks, event.callbacks = event.callbacks, []
+        if event.triggered and not event.ok and callbacks:
+            # Someone is handling this failure; don't re-raise it later.
+            event._failure_observed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the event queue drains), a
+        float (run up to that simulated time), or an :class:`Event` (run
+        until it triggers, returning its value or raising its exception).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}: already at {self.now}")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.clock.advance_to(until)
+                return None
+            self.step()
+        if until is not None:
+            self.clock.advance_to(until)
+        self._raise_orphaned_failures()
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        while not until.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            self.step()
+        if until.ok:
+            return until.value
+        raise until.value
+
+    def _raise_orphaned_failures(self) -> None:
+        """Surface process crashes nobody waited on.
+
+        Errors should never pass silently: if a spawned process failed and
+        no other process observed the failure, raise it at the end of the
+        run instead of swallowing it.
+        """
+        for process in self._processes:
+            if (process.triggered and not process.ok
+                    and not getattr(process, "_failure_observed", False)):
+                raise process.value
+
+    def __repr__(self) -> str:
+        return f"Simulation(now={self.now:.9g}, pending={len(self._queue)})"

@@ -1,0 +1,135 @@
+"""Time-series tracing for simulations.
+
+Devices emit step-function samples (power changes at state transitions);
+:class:`TimeSeries` stores them and can integrate, average, and resample.
+:class:`TraceRecorder` is a keyed collection of series for a whole run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.errors import SimulationError
+
+
+class TimeSeries:
+    """A right-continuous step function sampled at change points.
+
+    ``record(t, v)`` means "the value is ``v`` from time ``t`` until the
+    next recorded point".  Integration treats the series as a step
+    function, which matches how device power evolves between state
+    transitions.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append a sample.  Time must be non-decreasing.
+
+        Re-recording at the same timestamp overwrites the prior value,
+        which is what a device wants when it changes state twice in the
+        same instant (only the final state holds for any positive span).
+        """
+        if self._times and t < self._times[-1]:
+            raise SimulationError(
+                f"series {self.name!r}: time went backwards "
+                f"({t} after {self._times[-1]})")
+        if self._times and t == self._times[-1]:
+            self._values[-1] = value
+            return
+        self._times.append(t)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def value_at(self, t: float) -> float:
+        """The step-function value at time ``t``."""
+        if not self._times or t < self._times[0]:
+            raise SimulationError(
+                f"series {self.name!r} has no value at t={t}")
+        idx = bisect.bisect_right(self._times, t) - 1
+        return self._values[idx]
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Integral of the step function over ``[t0, t1]``.
+
+        For a power series in Watts this is energy in Joules.
+        """
+        if t1 < t0:
+            raise SimulationError(f"bad interval [{t0}, {t1}]")
+        if t1 == t0 or not self._times:
+            return 0.0
+        if t0 < self._times[0]:
+            raise SimulationError(
+                f"series {self.name!r} starts at {self._times[0]}, "
+                f"cannot integrate from {t0}")
+        total = 0.0
+        idx = bisect.bisect_right(self._times, t0) - 1
+        cursor = t0
+        while cursor < t1:
+            seg_end = self._times[idx + 1] if idx + 1 < len(self._times) else t1
+            seg_end = min(seg_end, t1)
+            total += self._values[idx] * (seg_end - cursor)
+            cursor = seg_end
+            idx += 1
+        return total
+
+    def average(self, t0: float, t1: float) -> float:
+        """Time-weighted mean over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise SimulationError(f"bad interval [{t0}, {t1}]")
+        return self.integrate(t0, t1) / (t1 - t0)
+
+    def resample(self, t0: float, t1: float, step: float) -> list[tuple[float, float]]:
+        """Sample the step function on a regular grid (for plotting)."""
+        if step <= 0:
+            raise SimulationError(f"step must be positive, got {step}")
+        out = []
+        t = t0
+        while t <= t1 + 1e-12:
+            out.append((t, self.value_at(min(t, t1))))
+            t += step
+        return out
+
+
+class TraceRecorder:
+    """A keyed collection of :class:`TimeSeries` for one simulation run."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+
+    def series(self, key: str) -> TimeSeries:
+        """Get (or lazily create) the series for ``key``."""
+        if key not in self._series:
+            self._series[key] = TimeSeries(name=key)
+        return self._series[key]
+
+    def record(self, key: str, t: float, value: float) -> None:
+        """Append a sample to the series for ``key``."""
+        self.series(key).record(t, value)
+
+    def keys(self) -> list[str]:
+        return sorted(self._series)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._series
+
+    def total(self, keys: Iterable[str], t0: float, t1: float) -> float:
+        """Sum of integrals across the given series over ``[t0, t1]``."""
+        return sum(self._series[k].integrate(t0, t1) for k in keys)

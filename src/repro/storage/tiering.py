@@ -1,0 +1,235 @@
+"""Tiered data placement and energy-motivated redundancy (paper §5.1).
+
+"With energy efficiency in mind, we expect to see more choices:
+different sets of disk arrays that vary in performance/power
+characteristics, different types of solid state drives, along with
+remote storage ... Furthermore, for read-mostly workloads, increasing
+redundancy may improve energy efficiency.  Additional capacity on disks
+does not carry energy costs if the disk usage remains the same."
+
+:class:`TieringAdvisor` places tables across heterogeneous storage
+tiers to minimize steady-state power, and prices the paper's redundancy
+trick: keep a *read replica* of a hot table on flash so the
+authoritative disk copy can sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One class of storage with a power/performance character."""
+
+    name: str
+    capacity_bytes: float
+    bandwidth_bytes_per_s: float
+    active_watts: float
+    idle_watts: float
+    standby_watts: float = 0.0
+    can_sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.bandwidth_bytes_per_s <= 0:
+            raise StorageError(f"tier {self.name!r}: bad capacity/bandwidth")
+        if not 0 <= self.standby_watts <= self.idle_watts \
+                <= self.active_watts:
+            raise StorageError(
+                f"tier {self.name!r}: need standby <= idle <= active")
+
+    def busy_fraction(self, bytes_per_second: float) -> float:
+        """Utilization serving a demand stream."""
+        if bytes_per_second < 0:
+            raise StorageError("negative demand")
+        return min(1.0, bytes_per_second / self.bandwidth_bytes_per_s)
+
+    def power_watts(self, bytes_per_second: float,
+                    powered: bool = True) -> float:
+        """Steady-state power at a demand level."""
+        if not powered:
+            return self.standby_watts if self.can_sleep else self.idle_watts
+        busy = self.busy_fraction(bytes_per_second)
+        return self.idle_watts + (self.active_watts - self.idle_watts) * busy
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """A table's size and read traffic.
+
+    ``pinned_tier`` fixes the authoritative copy's home (the common
+    durability policy: the system of record lives on the big disk
+    tier).  Pinned tables can still get read *replicas* elsewhere —
+    which is exactly where the paper's redundancy trick pays.
+    """
+
+    name: str
+    size_bytes: float
+    read_bytes_per_s: float = 0.0
+    write_bytes_per_s: float = 0.0
+    pinned_tier: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise StorageError(f"table {self.name!r}: size must be positive")
+        if self.read_bytes_per_s < 0 or self.write_bytes_per_s < 0:
+            raise StorageError(f"table {self.name!r}: negative traffic")
+
+
+@dataclass
+class TieringPlan:
+    """The advisor's placement and its predicted steady-state power."""
+
+    assignments: dict[str, str] = field(default_factory=dict)
+    replicas: dict[str, str] = field(default_factory=dict)
+    tier_watts: dict[str, float] = field(default_factory=dict)
+    total_watts: float = 0.0
+    sleeping_tiers: list[str] = field(default_factory=list)
+
+
+class TieringAdvisor:
+    """Greedy energy-minimizing placement over storage tiers."""
+
+    def __init__(self, tiers: Sequence[StorageTier]) -> None:
+        if not tiers:
+            raise StorageError("need at least one tier")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise StorageError("duplicate tier names")
+        self.tiers = list(tiers)
+        self._by_name = {t.name: t for t in tiers}
+
+    # -- placement -----------------------------------------------------------
+    def marginal_scan_watts(self, tier: StorageTier,
+                            bytes_per_second: float) -> float:
+        """Power added to a tier by a demand stream."""
+        return ((tier.active_watts - tier.idle_watts)
+                * tier.busy_fraction(bytes_per_second))
+
+    def place(self, tables: Sequence[TableProfile]) -> TieringPlan:
+        """Assign each table to one tier, minimizing steady-state power.
+
+        Greedy by traffic density (hottest first): each table goes to the
+        tier where its marginal power is smallest among tiers with room,
+        counting a tier's idle power once when first used.  Unused
+        sleepable tiers are left asleep.
+        """
+        ordered = sorted(tables,
+                         key=lambda t: t.read_bytes_per_s
+                         + t.write_bytes_per_s, reverse=True)
+        remaining = {t.name: t.capacity_bytes for t in self.tiers}
+        used: set[str] = set()
+        plan = TieringPlan()
+        for table in ordered:
+            best_tier = None
+            best_cost = None
+            demand = table.read_bytes_per_s + table.write_bytes_per_s
+            for tier in self.tiers:
+                if (table.pinned_tier is not None
+                        and tier.name != table.pinned_tier):
+                    continue
+                if remaining[tier.name] < table.size_bytes:
+                    continue
+                cost = self.marginal_scan_watts(tier, demand)
+                if tier.name not in used:
+                    wake_cost = tier.idle_watts - (
+                        tier.standby_watts if tier.can_sleep else
+                        tier.idle_watts)
+                    cost += wake_cost
+                if best_cost is None or cost < best_cost:
+                    best_tier, best_cost = tier, cost
+            if best_tier is None:
+                raise StorageError(
+                    f"table {table.name!r} fits no tier")
+            plan.assignments[table.name] = best_tier.name
+            remaining[best_tier.name] -= table.size_bytes
+            used.add(best_tier.name)
+        self._finalize(plan, tables, used)
+        return plan
+
+    def _finalize(self, plan: TieringPlan,
+                  tables: Sequence[TableProfile],
+                  used: set[str]) -> None:
+        demand_per_tier: dict[str, float] = {t.name: 0.0
+                                             for t in self.tiers}
+        for table in tables:
+            home = plan.replicas.get(table.name,
+                                     plan.assignments[table.name])
+            demand_per_tier[home] += table.read_bytes_per_s
+            demand_per_tier[plan.assignments[table.name]] += \
+                table.write_bytes_per_s
+        total = 0.0
+        for tier in self.tiers:
+            powered = tier.name in used or \
+                tier.name in plan.replicas.values()
+            # a tier whose tables are all replica-served can sleep
+            if powered and tier.can_sleep \
+                    and demand_per_tier[tier.name] == 0.0:
+                powered = False
+            watts = tier.power_watts(demand_per_tier[tier.name],
+                                     powered=powered)
+            plan.tier_watts[tier.name] = watts
+            if not powered:
+                plan.sleeping_tiers.append(tier.name)
+            total += watts
+        plan.total_watts = total
+
+    # -- redundancy (§5.1) ----------------------------------------------------
+    def replication_saving_watts(self, table: TableProfile,
+                                 home: StorageTier,
+                                 replica: StorageTier) -> float:
+        """Steady-state Watts saved by serving reads from a replica.
+
+        The home tier drops from read-busy to (sleeping, if the replica
+        absorbs all traffic and the table is read-only) idle; the
+        replica tier picks the read stream up.  Writes still go to the
+        home copy, so write traffic blocks the sleep.
+        """
+        before = (self.marginal_scan_watts(
+            home, table.read_bytes_per_s + table.write_bytes_per_s))
+        after_replica = self.marginal_scan_watts(
+            replica, table.read_bytes_per_s)
+        if table.write_bytes_per_s == 0 and home.can_sleep:
+            # the home copy can sleep entirely
+            home_after = home.standby_watts - home.idle_watts
+        else:
+            home_after = self.marginal_scan_watts(
+                home, table.write_bytes_per_s)
+        return before - (after_replica + home_after)
+
+    def plan_with_replicas(self, tables: Sequence[TableProfile]
+                           ) -> TieringPlan:
+        """Place tables, then add read replicas where they save power.
+
+        Replicas consume replica-tier capacity; candidates are evaluated
+        hottest-first.
+        """
+        plan = self.place(tables)
+        remaining = {t.name: t.capacity_bytes for t in self.tiers}
+        for table in tables:
+            remaining[plan.assignments[table.name]] -= table.size_bytes
+        ordered = sorted(tables, key=lambda t: t.read_bytes_per_s,
+                         reverse=True)
+        for table in ordered:
+            home = self._by_name[plan.assignments[table.name]]
+            best = None
+            best_saving = 0.0
+            for tier in self.tiers:
+                if tier.name == home.name:
+                    continue
+                if remaining[tier.name] < table.size_bytes:
+                    continue
+                saving = self.replication_saving_watts(table, home, tier)
+                if saving > best_saving:
+                    best, best_saving = tier, saving
+            if best is not None:
+                plan.replicas[table.name] = best.name
+                remaining[best.name] -= table.size_bytes
+        used = set(plan.assignments.values())
+        plan.tier_watts.clear()
+        plan.sleeping_tiers.clear()
+        self._finalize(plan, tables, used)
+        return plan

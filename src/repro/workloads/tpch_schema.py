@@ -1,0 +1,98 @@
+"""TPC-H-style schemas.
+
+ORDERS deliberately has exactly seven attributes, matching the paper's
+Figure 2 description ("a query that projects five out of seven
+attributes of table ORDERS"); LINEITEM carries the columns the classic
+analytic queries touch.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+#: the five ORDERS attributes the Figure 2 scan projects
+ORDERS_SCAN_COLUMNS = ["o_orderkey", "o_custkey", "o_orderstatus",
+                       "o_totalprice", "o_orderdate"]
+
+
+def region_schema() -> TableSchema:
+    return TableSchema("region", [
+        Column("r_regionkey", DataType.INT32, nullable=False),
+        Column("r_name", DataType.VARCHAR, nullable=False),
+    ])
+
+
+def nation_schema() -> TableSchema:
+    return TableSchema("nation", [
+        Column("n_nationkey", DataType.INT32, nullable=False),
+        Column("n_name", DataType.VARCHAR, nullable=False),
+        Column("n_regionkey", DataType.INT32, nullable=False),
+    ])
+
+
+def supplier_schema() -> TableSchema:
+    return TableSchema("supplier", [
+        Column("s_suppkey", DataType.INT64, nullable=False),
+        Column("s_name", DataType.VARCHAR, nullable=False),
+        Column("s_nationkey", DataType.INT32, nullable=False),
+        Column("s_acctbal", DataType.FLOAT64, nullable=False),
+    ])
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema("customer", [
+        Column("c_custkey", DataType.INT64, nullable=False),
+        Column("c_name", DataType.VARCHAR, nullable=False),
+        Column("c_nationkey", DataType.INT32, nullable=False),
+        Column("c_mktsegment", DataType.VARCHAR, nullable=False),
+        Column("c_acctbal", DataType.FLOAT64, nullable=False),
+    ])
+
+
+def part_schema() -> TableSchema:
+    return TableSchema("part", [
+        Column("p_partkey", DataType.INT64, nullable=False),
+        Column("p_name", DataType.VARCHAR, nullable=False),
+        Column("p_brand", DataType.VARCHAR, nullable=False),
+        Column("p_type", DataType.VARCHAR, nullable=False),
+        Column("p_size", DataType.INT32, nullable=False),
+        Column("p_retailprice", DataType.FLOAT64, nullable=False),
+    ])
+
+
+def orders_schema() -> TableSchema:
+    """Seven attributes, per the paper's scan experiment."""
+    return TableSchema("orders", [
+        Column("o_orderkey", DataType.INT64, nullable=False),
+        Column("o_custkey", DataType.INT64, nullable=False),
+        Column("o_orderstatus", DataType.VARCHAR, nullable=False),
+        Column("o_totalprice", DataType.FLOAT64, nullable=False),
+        Column("o_orderdate", DataType.DATE, nullable=False),
+        Column("o_orderpriority", DataType.VARCHAR, nullable=False),
+        Column("o_clerk", DataType.VARCHAR, nullable=False),
+    ])
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema("lineitem", [
+        Column("l_orderkey", DataType.INT64, nullable=False),
+        Column("l_partkey", DataType.INT64, nullable=False),
+        Column("l_suppkey", DataType.INT64, nullable=False),
+        Column("l_quantity", DataType.FLOAT64, nullable=False),
+        Column("l_extendedprice", DataType.FLOAT64, nullable=False),
+        Column("l_discount", DataType.FLOAT64, nullable=False),
+        Column("l_tax", DataType.FLOAT64, nullable=False),
+        Column("l_returnflag", DataType.VARCHAR, nullable=False),
+        Column("l_linestatus", DataType.VARCHAR, nullable=False),
+        Column("l_shipdate", DataType.DATE, nullable=False),
+        Column("l_shipmode", DataType.VARCHAR, nullable=False),
+    ])
+
+
+def tpch_schemas() -> dict[str, TableSchema]:
+    """All schemas by table name."""
+    schemas = [region_schema(), nation_schema(), supplier_schema(),
+               customer_schema(), part_schema(), orders_schema(),
+               lineitem_schema()]
+    return {s.name: s for s in schemas}

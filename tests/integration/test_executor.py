@@ -1,0 +1,213 @@
+"""Integration tests: full queries through the executor on simulated
+hardware, validating both results and time/energy accounting."""
+
+import pytest
+
+from repro.hardware.profiles import commodity, flash_scan_node
+from repro.relational.expr import col
+from repro.relational.operators import (
+    AggregateSpec,
+    CostParameters,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    TableScan,
+)
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+from repro.units import MIB
+
+
+def build_env(layout="row", codecs=None, n_rows=2000):
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("items", [
+            Column("id", DataType.INT64, nullable=False),
+            Column("grp", DataType.INT64, nullable=False),
+            Column("price", DataType.FLOAT64, nullable=False),
+            Column("tag", DataType.VARCHAR, nullable=False),
+        ]), layout=layout, placement=array, codecs=codecs)
+    table.load([(i, i % 10, float(i % 97) + 0.5, f"tag{i % 4}")
+                for i in range(n_rows)])
+    ctx = ExecutionContext(sim=sim, server=server, chunk_bytes=1 * MIB)
+    return sim, server, table, ctx
+
+
+def test_simple_scan_produces_rows_and_advances_time():
+    sim, server, table, ctx = build_env()
+    result = Executor(ctx).run(TableScan(table))
+    assert result.row_count == 2000
+    assert result.elapsed_seconds > 0
+    assert result.energy_joules > 0
+
+
+def test_result_columns_match_plan():
+    _, _, table, ctx = build_env()
+    result = Executor(ctx).run(TableScan(table, columns=["id", "price"]))
+    assert result.columns == ["id", "price"]
+    assert result.rows[0] == (0, 0.5)
+
+
+def test_energy_equals_breakdown_sum():
+    _, _, table, ctx = build_env()
+    result = Executor(ctx).run(TableScan(table))
+    assert result.energy_joules == pytest.approx(
+        sum(result.breakdown_joules.values()), rel=1e-9)
+
+
+def test_energy_equals_average_power_times_time():
+    _, _, table, ctx = build_env()
+    result = Executor(ctx).run(TableScan(table))
+    assert result.energy_joules == pytest.approx(
+        result.average_power_watts * result.elapsed_seconds, rel=1e-9)
+
+
+def test_scale_inflates_time_roughly_linearly():
+    def elapsed(scale):
+        sim = Simulation()
+        server, array = flash_scan_node(sim)  # no positioning constant
+        storage = StorageManager(sim)
+        table = storage.create_table(
+            TableSchema("t", [Column("id", DataType.INT64, nullable=False)]),
+            layout="row", placement=array)
+        table.load([(i,) for i in range(2000)])
+        ctx = ExecutionContext(sim=sim, server=server, scale=scale,
+                               chunk_bytes=1 * MIB)
+        return Executor(ctx).run(TableScan(table)).elapsed_seconds
+
+    t10 = elapsed(10.0)
+    t100 = elapsed(100.0)
+    assert t100 == pytest.approx(10 * t10, rel=0.25)
+
+
+def test_scale_does_not_change_results():
+    sim, server, table, _ = build_env()
+    ctx = ExecutionContext(sim=sim, server=server, scale=50.0)
+    result = Executor(ctx).run(
+        Filter(TableScan(table), col("grp") == 3))
+    assert result.row_count == 200
+
+
+def test_column_projection_reads_fewer_bytes_than_row_store():
+    def io_bytes(layout):
+        _, _, table, ctx = build_env(layout=layout)
+        result = Executor(ctx).run(TableScan(table, columns=["id"]))
+        return sum(p.io_bytes for p in result.pipelines)
+
+    assert io_bytes("column") < io_bytes("row") / 2
+
+
+def test_compressed_scan_trades_io_for_cpu():
+    def run_one(codecs):
+        _, _, table, ctx = build_env(layout="column", codecs=codecs)
+        result = Executor(ctx).run(TableScan(table))
+        io = sum(p.io_bytes for p in result.pipelines)
+        cpu = sum(p.cpu_cycles for p in result.pipelines)
+        return io, cpu
+
+    plain_io, plain_cpu = run_one(None)
+    comp_io, comp_cpu = run_one({"grp": "rle", "tag": "dictionary",
+                                 "id": "delta"})
+    assert comp_io < plain_io
+    assert comp_cpu > plain_cpu
+
+
+def test_pipeline_overlap_bounds_elapsed_time():
+    """With many chunks, elapsed ~ max(io, cpu) + epsilon, not io + cpu."""
+    def run_one(cycles_per_byte):
+        sim, server, table, _ = build_env()
+        ctx = ExecutionContext(
+            sim=sim, server=server, scale=50.0, chunk_bytes=16 * 1024,
+            params=CostParameters(cycles_per_scan_byte=cycles_per_byte))
+        return Executor(ctx).run(TableScan(table))
+
+    io_only = run_one(0.0)          # pure I/O: elapsed is the disk time
+    both = run_one(58.0)            # CPU comparable to I/O
+    io_time = io_only.elapsed_seconds
+    cpu_time = both.cpu_busy_seconds
+    serial = io_time + cpu_time
+    overlapped = both.elapsed_seconds
+    assert overlapped < 0.8 * serial
+    assert overlapped >= max(io_time, cpu_time) * 0.95
+
+
+def test_join_query_end_to_end():
+    sim, server, items, ctx = build_env()
+    storage = StorageManager(sim)
+    groups = storage.create_table(
+        TableSchema("groups", [
+            Column("g_id", DataType.INT64, nullable=False),
+            Column("g_name", DataType.VARCHAR, nullable=False),
+        ]), layout="row", placement=items.placement)
+    groups.load([(i, f"group-{i}") for i in range(10)])
+    plan = HashAggregate(
+        HashJoin(TableScan(groups), TableScan(items), ["g_id"], ["grp"]),
+        ["g_name"],
+        [AggregateSpec("count", None, "n"),
+         AggregateSpec("sum", col("price"), "revenue")])
+    result = Executor(ctx).run(plan)
+    assert result.row_count == 10
+    assert sum(r[1] for r in result.rows) == 2000
+
+
+def test_concurrent_queries_share_devices():
+    """Two identical queries run concurrently must each take longer than
+    a lone query (device contention), but less than strict serial."""
+    def lone():
+        _, _, table, ctx = build_env()
+        return Executor(ctx).run(TableScan(table)).elapsed_seconds
+
+    def concurrent():
+        sim, server, table, ctx = build_env()
+        executor = Executor(ctx)
+        p1 = sim.spawn(executor.run_process(TableScan(table)))
+        p2 = sim.spawn(executor.run_process(TableScan(table)))
+        sim.run(until=sim.all_of([p1, p2]))
+        return sim.now
+
+    t_lone = lone()
+    t_conc = concurrent()
+    assert t_conc > 1.2 * t_lone
+    assert t_conc < 2.5 * t_lone
+
+
+def test_dram_grant_allocated_and_freed():
+    sim, server, items, ctx = build_env()
+    storage = StorageManager(sim)
+    groups = storage.create_table(
+        TableSchema("groups", [
+            Column("g_id", DataType.INT64, nullable=False),
+        ]), layout="row", placement=items.placement)
+    groups.load([(i,) for i in range(10)])
+    plan = HashJoin(TableScan(groups), TableScan(items), ["g_id"], ["grp"])
+    result = Executor(ctx).run(plan)
+    assert result.row_count == 2000
+    assert server.dram.allocated_bytes == 0  # freed after the query
+
+
+def test_active_energy_excludes_idle_draw():
+    """active_energy charges only busy time; component energy includes
+    idle draw of everything, so it is strictly larger."""
+    _, _, table, ctx = build_env()
+    result = Executor(ctx).run(TableScan(table))
+    assert 0 < result.active_energy_joules < result.energy_joules
+
+
+def test_parallelism_shortens_cpu_bound_query():
+    def run_with_params(cycles_per_byte, degree):
+        from repro.relational.operators import Exchange
+        sim, server, table, _ = build_env()
+        ctx = ExecutionContext(
+            sim=sim, server=server,
+            params=CostParameters(cycles_per_scan_byte=cycles_per_byte))
+        plan = Exchange(TableScan(table), degree=degree)
+        return Executor(ctx).run(plan).elapsed_seconds
+
+    slow = run_with_params(4000.0, 1)
+    fast = run_with_params(4000.0, 4)
+    assert fast < 0.5 * slow

@@ -1,0 +1,177 @@
+"""Integration tests: shared scans (§5.2) and power capping (§2.2)."""
+
+import pytest
+
+from repro.errors import ConsolidationError, ExecutionError
+from repro.consolidation.capping import PowerCappedScheduler
+from repro.hardware.profiles import commodity
+from repro.optimizer import CostModel
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import col
+from repro.relational.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    TableScan,
+)
+from repro.relational.shared import (
+    SharedScanSession,
+    run_independently,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+
+def build_env(scale=300.0):
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema("facts", [
+            Column("k", DataType.INT64, nullable=False),
+            Column("grp", DataType.INT64, nullable=False),
+            Column("v", DataType.FLOAT64, nullable=False),
+        ]), layout="row", placement=array)
+    table.load([(i, i % 7, float(i % 131)) for i in range(4000)])
+    executor = Executor(ExecutionContext(sim=sim, server=server,
+                                         scale=scale))
+    return sim, server, table, executor
+
+
+def query_builders(table, n=4):
+    builders = []
+    for i in range(n):
+        def make(i=i):
+            return HashAggregate(
+                Filter(TableScan(table), col("grp") == i % 7),
+                [], [AggregateSpec("sum", col("v"), "s"),
+                     AggregateSpec("count", None, "n")])
+        builders.append(make)
+    return builders
+
+
+class TestSharedScans:
+    def test_results_identical_to_independent(self):
+        sim, _, table, executor = build_env()
+        shared = SharedScanSession(executor).run_batch(
+            query_builders(table))
+        sim2, _, table2, executor2 = build_env()
+        independent = run_independently(executor2,
+                                        query_builders(table2))
+        assert [r.rows for r in shared] == [r.rows for r in independent]
+
+    def test_shared_batch_reads_once(self):
+        sim, _, table, executor = build_env()
+        results = SharedScanSession(executor).run_batch(
+            query_builders(table, n=5))
+        passes = sum(1 for r in results
+                     for p in r.pipelines if p.io_bytes > 0)
+        assert passes == 1  # one leader, four followers
+
+    def test_shared_batch_faster_and_cheaper(self):
+        sim, server, table, executor = build_env()
+        SharedScanSession(executor).run_batch(query_builders(table, 5))
+        shared_time = sim.now
+        shared_energy = server.meter.energy_joules(0.0, sim.now)
+        sim2, server2, table2, executor2 = build_env()
+        run_independently(executor2, query_builders(table2, 5))
+        indep_time = sim2.now
+        indep_energy = server2.meter.energy_joules(0.0, sim2.now)
+        assert shared_time < 0.5 * indep_time
+        assert shared_energy < 0.6 * indep_energy
+
+    def test_different_tables_each_get_a_leader(self):
+        sim, server, table, executor = build_env()
+        storage = StorageManager(sim)
+        other = storage.create_table(
+            TableSchema("other", [
+                Column("x", DataType.INT64, nullable=False)]),
+            layout="row", placement=table.placement)
+        other.load([(i,) for i in range(100)])
+        session = SharedScanSession(executor)
+        results = session.run_batch([
+            lambda: TableScan(table, columns=["k"]),
+            lambda: TableScan(other),
+        ])
+        passes = sum(1 for r in results
+                     for p in r.pipelines if p.io_bytes > 0)
+        assert passes == 2
+
+    def test_empty_batch_rejected(self):
+        _, _, _, executor = build_env()
+        with pytest.raises(ExecutionError):
+            SharedScanSession(executor).run_batch([])
+
+
+class TestPowerCapping:
+    def make_scheduler(self, cap, cpu_heavy=False):
+        from repro.relational.operators import CostParameters
+        params = CostParameters(
+            cycles_per_scan_byte=800.0 if cpu_heavy else 3.2)
+        sim = Simulation()
+        server, array = commodity(sim)
+        storage = StorageManager(sim)
+        table = storage.create_table(
+            TableSchema("facts", [
+                Column("k", DataType.INT64, nullable=False),
+                Column("grp", DataType.INT64, nullable=False),
+                Column("v", DataType.FLOAT64, nullable=False),
+            ]), layout="row", placement=array)
+        table.load([(i, i % 7, float(i % 131)) for i in range(4000)])
+        executor = Executor(ExecutionContext(
+            sim=sim, server=server, scale=300.0, params=params))
+        model = CostModel(server, scale=300.0, params=params)
+        return (PowerCappedScheduler(executor, model, cap_watts=cap),
+                table, server)
+
+    def cpu_heavy_builders(self, table, n=4):
+        from repro.relational.operators import Exchange
+        builders = []
+        for i in range(n):
+            def make(i=i):
+                return Exchange(
+                    Filter(TableScan(table), col("grp") == i % 7), 2)
+            builders.append(make)
+        return builders
+
+    def test_cap_below_idle_rejected(self):
+        sim, server, table, executor = build_env()
+        model = CostModel(server)
+        with pytest.raises(ConsolidationError):
+            PowerCappedScheduler(executor, model, cap_watts=1.0)
+
+    def test_all_queries_complete(self):
+        scheduler, table, _server = self.make_scheduler(cap=120.0)
+        report = scheduler.run_batch(query_builders(table, 6))
+        assert report.completed == 6
+        assert report.makespan_seconds > 0
+
+    def test_peak_power_respects_cap(self):
+        scheduler, table, _server = self.make_scheduler(cap=80.0)
+        report = scheduler.run_batch(query_builders(table, 6))
+        # modeling slack: allow a small overshoot from unmodeled DRAM
+        assert report.peak_power_watts <= 80.0 * 1.10
+
+    def test_tighter_cap_queues_longer_and_draws_less(self):
+        """With CPU-heavy parallel queries, a tighter cap serializes
+        admission: longer queueing, lower peak draw.  (Makespan can go
+        EITHER way — throttling also removes device contention.)"""
+        loose_sched, loose_table, _ = self.make_scheduler(
+            cap=180.0, cpu_heavy=True)
+        loose = loose_sched.run_batch(
+            self.cpu_heavy_builders(loose_table, 4))
+        tight_sched, tight_table, _ = self.make_scheduler(
+            cap=95.0, cpu_heavy=True)
+        tight = tight_sched.run_batch(
+            self.cpu_heavy_builders(tight_table, 4))
+        assert tight.mean_queue_delay_seconds > \
+            loose.mean_queue_delay_seconds
+        assert tight.peak_power_watts < 0.9 * loose.peak_power_watts
+        assert tight.completed == loose.completed == 4
+
+    def test_incremental_watts_positive_and_bounded(self):
+        scheduler, table, server = self.make_scheduler(cap=150.0)
+        watts = scheduler.incremental_watts(TableScan(table))
+        assert 0 < watts < server.peak_power_watts()

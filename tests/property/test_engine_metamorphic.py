@@ -1,0 +1,150 @@
+"""Metamorphic properties of the engine.
+
+Query *results* must be invariant to physical choices (layout, codecs,
+replay scale, access path); only costs may change.  Cost *estimates*
+must track actual charges.  These invariants are what make the energy
+experiments trustworthy: physical knobs change Joules, never answers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.profiles import commodity
+from repro.optimizer import CostModel
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import col
+from repro.relational.operators import (
+    AggregateSpec,
+    CostCollector,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Sort,
+    TableScan,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50),
+              st.integers(min_value=-50, max_value=50)),
+    min_size=1, max_size=120)
+
+
+def make_table(rows, layout, codecs=None, name="t"):
+    sim = Simulation()
+    server, array = commodity(sim)
+    storage = StorageManager(sim)
+    table = storage.create_table(
+        TableSchema(name, [
+            Column("k", DataType.INT64, nullable=False),
+            Column("v", DataType.INT64, nullable=False),
+        ]), layout=layout, placement=array, codecs=codecs)
+    table.load(rows)
+    return sim, server, table
+
+
+def run_query(sim, server, plan, scale=1.0):
+    ctx = ExecutionContext(sim=sim, server=server, scale=scale)
+    return Executor(ctx).run(plan)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows_strategy, st.integers(min_value=-50, max_value=50))
+def test_layout_invariance(rows, threshold):
+    """Row store, plain column store, and compressed column store must
+    return identical rows for the same query."""
+    results = []
+    for layout, codecs in [("row", None), ("column", None),
+                           ("column", {"k": "delta", "v": "lzlite"})]:
+        sim, server, table = make_table(rows, layout, codecs)
+        result = run_query(sim, server,
+                           Filter(TableScan(table),
+                                  col("v") > threshold))
+        results.append(sorted(result.rows))
+    assert results[0] == results[1] == results[2]
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows_strategy, st.floats(min_value=1.0, max_value=1e4,
+                                allow_nan=False))
+def test_scale_invariance_of_results(rows, scale):
+    """Replay inflation changes time and energy, never answers."""
+    sim, server, table = make_table(rows, "row")
+    base = run_query(sim, server, Sort(TableScan(table), ["v", "k"]))
+    sim2, server2, table2 = make_table(rows, "row")
+    scaled = run_query(sim2, server2,
+                       Sort(TableScan(table2), ["v", "k"]), scale=scale)
+    assert base.rows == scaled.rows
+    if scale > 2.0:
+        assert scaled.energy_joules > base.energy_joules
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows_strategy)
+def test_scale_linearity_of_charges(rows):
+    """Collector charges are exactly linear in the scale factor."""
+    sim, server, table = make_table(rows, "row")
+
+    def charges(scale):
+        collector = CostCollector(scale=scale)
+        TableScan(table).execute(collector)
+        return collector.total_io_bytes(), collector.total_cpu_cycles()
+
+    io1, cpu1 = charges(1.0)
+    io7, cpu7 = charges(7.0)
+    assert io7 == pytest.approx(7 * io1)
+    assert cpu7 == pytest.approx(7 * cpu1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows_strategy, rows_strategy)
+def test_cost_model_tracks_collector_on_joins(left_rows, right_rows):
+    """Predicted CPU/IO stay within a constant factor of actual charges
+    for randomly-sized join+aggregate plans."""
+    sim, server, left = make_table(left_rows, "row", name="l")
+    storage = StorageManager(sim)
+    right = storage.create_table(
+        TableSchema("r", [
+            Column("rk", DataType.INT64, nullable=False),
+            Column("rv", DataType.INT64, nullable=False),
+        ]), layout="row", placement=left.placement)
+    right.load(right_rows)
+
+    def build():
+        return HashAggregate(
+            HashJoin(TableScan(left), TableScan(right), ["k"], ["rk"]),
+            [], [AggregateSpec("count", None, "n")])
+
+    predicted = CostModel(server).cost(build())
+    collector = CostCollector()
+    build().execute(collector)
+    actual_io = collector.total_io_bytes()
+    predicted_io = sum(p.io_bytes for p in predicted.pipelines)
+    assert predicted_io == pytest.approx(actual_io, rel=1e-6)
+    actual_cpu = collector.total_cpu_cycles()
+    predicted_cpu = sum(p.cpu_cycles for p in predicted.pipelines)
+    # CPU depends on estimated cardinalities: demand factor-of-4 accuracy
+    assert predicted_cpu < 4 * actual_cpu + 1e4
+    assert actual_cpu < 4 * predicted_cpu + 1e4
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows_strategy)
+def test_index_and_scan_agree(rows):
+    """An index range scan returns exactly the rows a filtered full
+    scan returns (modulo order)."""
+    from repro.relational.expr import Between
+    from repro.relational.operators import IndexScan
+    sim, server, table = make_table(sorted(rows), "row")
+    table.create_index("k")
+    low, high = 10, 40
+    via_scan = run_query(sim, server,
+                         Filter(TableScan(table),
+                                Between(col("k"), low, high)))
+    via_index = run_query(sim, server,
+                          IndexScan(table, "k", low=low, high=high))
+    assert sorted(via_scan.rows) == sorted(via_index.rows)

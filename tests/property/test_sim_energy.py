@@ -1,0 +1,116 @@
+"""Property-based tests: simulation determinism and energy invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.proportionality import proportionality_index
+from repro.hardware.server import BaseLoad
+from repro.hardware.meter import EnergyMeter
+from repro.sim import Simulation, TimeSeries
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False), min_size=1, max_size=20)
+
+
+@settings(max_examples=50)
+@given(delays)
+def test_simulation_deterministic(delay_list):
+    def run():
+        sim = Simulation()
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append((sim.now, name))
+
+        for i, delay in enumerate(delay_list):
+            sim.spawn(proc(i, delay))
+        sim.run()
+        return order
+
+    assert run() == run()
+
+
+@settings(max_examples=50)
+@given(delays)
+def test_clock_monotone(delay_list):
+    sim = Simulation()
+    stamps = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        stamps.append(sim.now)
+
+    for delay in delay_list:
+        sim.spawn(proc(delay))
+    sim.run()
+    assert stamps == sorted(stamps)
+
+
+samples = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+              st.floats(min_value=0.0, max_value=500.0, allow_nan=False)),
+    min_size=1, max_size=30,
+).map(lambda pts: sorted(pts, key=lambda p: p[0]))
+
+
+@settings(max_examples=80)
+@given(samples, st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False))
+def test_integral_additivity(points, split):
+    ts = TimeSeries()
+    for t, v in points:
+        ts.record(t, v)
+    t0 = points[0][0]
+    t1 = max(points[-1][0], t0) + 10.0
+    mid = min(max(split, t0), t1)
+    whole = ts.integrate(t0, t1)
+    parts = ts.integrate(t0, mid) + ts.integrate(mid, t1)
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=80)
+@given(samples)
+def test_integral_non_negative_and_bounded(points):
+    ts = TimeSeries()
+    for t, v in points:
+        ts.record(t, v)
+    t0 = points[0][0]
+    t1 = t0 + 50.0
+    value = ts.integrate(t0, t1)
+    peak = max(v for _, v in points)
+    assert 0.0 <= value <= peak * (t1 - t0) + 1e-6
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(min_value=0.1, max_value=500.0,
+                          allow_nan=False), min_size=1, max_size=5),
+       st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+def test_meter_energy_equals_power_times_time(watts_list, duration):
+    """Constant loads: meter integral == sum(P) * T exactly."""
+    sim = Simulation()
+    meter = EnergyMeter(sim)
+    for i, watts in enumerate(watts_list):
+        meter.attach(BaseLoad(sim, watts, name=f"load{i}"))
+    sim.run(until=duration)
+    assert meter.energy_joules() == pytest.approx(
+        sum(watts_list) * duration, rel=1e-9)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False),
+                min_size=3, max_size=12))
+def test_proportionality_index_bounds(raw):
+    """For any monotone power curve spanning [0,1] with positive peak,
+    the EP index of the *ideal* curve is 1 and a constant curve is 0."""
+    n = len(raw)
+    utils = [i / (n - 1) for i in range(n)]
+    ideal = [u * 100.0 for u in utils]
+    constant = [100.0] * n
+    assert proportionality_index(utils, ideal) == pytest.approx(1.0)
+    assert proportionality_index(utils, constant) == pytest.approx(0.0)
+    # mixes land in between
+    mixed = [0.5 * i + 0.5 * c for i, c in zip(ideal, constant)]
+    assert 0.0 < proportionality_index(utils, mixed) < 1.0

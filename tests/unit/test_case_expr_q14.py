@@ -1,0 +1,91 @@
+"""Unit tests for the CASE expression and the Q14 promo query."""
+
+from datetime import date
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.hardware.profiles import commodity
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.expr import Case, Like, Literal, col, make_layout
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+from repro.workloads import generate_tpch, q14
+
+LAYOUT = make_layout(["x", "s"])
+
+
+class TestCaseExpression:
+    def test_first_true_branch_wins(self):
+        expr = Case([(col("x") < 0, "negative"),
+                     (col("x") == 0, "zero"),
+                     (col("x") > 0, "positive")], default="?")
+        assert expr.evaluate((-3, ""), LAYOUT) == "negative"
+        assert expr.evaluate((0, ""), LAYOUT) == "zero"
+        assert expr.evaluate((5, ""), LAYOUT) == "positive"
+
+    def test_default_when_nothing_matches(self):
+        expr = Case([(col("x") > 100, 1.0)], default=0.0)
+        assert expr.evaluate((5, ""), LAYOUT) == 0.0
+
+    def test_null_condition_falls_through(self):
+        expr = Case([(col("x") > 0, "yes")], default="no")
+        assert expr.evaluate((None, ""), LAYOUT) == "no"
+
+    def test_branch_values_can_be_expressions(self):
+        expr = Case([(col("s") == Literal("double"), col("x") * 2)],
+                    default=col("x"))
+        assert expr.evaluate((21, "double"), LAYOUT) == 42
+        assert expr.evaluate((21, "other"), LAYOUT) == 21
+
+    def test_columns_and_cycles(self):
+        expr = Case([(Like(col("s"), "PROMO%"), col("x"))], default=0.0)
+        assert expr.columns() == {"s", "x"}
+        assert expr.cycles() > 0
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ExpressionError):
+            Case([])
+
+
+class TestQ14:
+    @pytest.fixture(scope="class")
+    def env(self):
+        sim = Simulation()
+        server, array = commodity(sim)
+        storage = StorageManager(sim)
+        db = generate_tpch(storage, array, scale_factor=0.002)
+        return sim, server, db
+
+    def test_q14_matches_oracle(self, env):
+        sim, server, db = env
+        result = Executor(ExecutionContext(sim=sim, server=server)).run(
+            q14(db))
+        assert result.row_count == 1
+        promo, total = result.rows[0]
+
+        part_types = {p[0]: p[1]
+                      for p in db["part"].iterate(["p_partkey", "p_type"])}
+        expected_promo = 0.0
+        expected_total = 0.0
+        for pk, price, disc, ship in db["lineitem"].iterate(
+                ["l_partkey", "l_extendedprice", "l_discount",
+                 "l_shipdate"]):
+            if not date(1995, 9, 1) <= ship < date(1995, 10, 1):
+                continue
+            revenue = price * (1 - disc)
+            expected_total += revenue
+            if part_types[pk].startswith("PROMO"):
+                expected_promo += revenue
+        assert total == pytest.approx(expected_total)
+        assert promo == pytest.approx(expected_promo)
+        assert 0 < promo < total
+
+    def test_q14_promo_share_sane(self, env):
+        sim, server, db = env
+        result = Executor(ExecutionContext(sim=sim, server=server)).run(
+            q14(db))
+        promo, total = result.rows[0]
+        share = promo / total
+        # one of six part types is PROMO: share should be in that vicinity
+        assert 0.05 < share < 0.40

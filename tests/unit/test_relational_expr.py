@@ -1,0 +1,123 @@
+"""Unit tests for expression trees."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expr import (
+    Between,
+    BoolOp,
+    InList,
+    Like,
+    Literal,
+    col,
+    make_layout,
+)
+
+LAYOUT = make_layout(["a", "b", "s"])
+ROW = (10, 3.5, "shipped")
+
+
+def test_column_ref():
+    assert col("a").evaluate(ROW, LAYOUT) == 10
+
+
+def test_unknown_column_raises():
+    with pytest.raises(ExpressionError):
+        col("ghost").evaluate(ROW, LAYOUT)
+
+
+def test_literal():
+    assert Literal(42).evaluate(ROW, LAYOUT) == 42
+
+
+def test_comparisons():
+    assert (col("a") == 10).evaluate(ROW, LAYOUT) is True
+    assert (col("a") != 10).evaluate(ROW, LAYOUT) is False
+    assert (col("a") < 11).evaluate(ROW, LAYOUT) is True
+    assert (col("a") >= 10).evaluate(ROW, LAYOUT) is True
+    assert (col("b") > 4).evaluate(ROW, LAYOUT) is False
+
+
+def test_comparison_null_propagates():
+    layout = make_layout(["x"])
+    assert (col("x") == 1).evaluate((None,), layout) is None
+
+
+def test_arithmetic():
+    expr = (col("a") + 5) * col("b")
+    assert expr.evaluate(ROW, LAYOUT) == pytest.approx(52.5)
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ExpressionError):
+        (col("a") / Literal(0)).evaluate(ROW, LAYOUT)
+
+
+def test_arithmetic_null_propagates():
+    layout = make_layout(["x"])
+    assert (col("x") + 1).evaluate((None,), layout) is None
+
+
+def test_bool_and_or_not():
+    t = col("a") == 10
+    f = col("a") == 99
+    assert (t & f).evaluate(ROW, LAYOUT) is False
+    assert (t | f).evaluate(ROW, LAYOUT) is True
+    assert (~t).evaluate(ROW, LAYOUT) is False
+
+
+def test_three_valued_logic():
+    layout = make_layout(["x"])
+    null_cmp = col("x") == 1
+    # NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL
+    assert BoolOp("and", [null_cmp, Literal(False)]).evaluate(
+        (None,), layout) is False
+    assert BoolOp("or", [null_cmp, Literal(True)]).evaluate(
+        (None,), layout) is True
+    assert BoolOp("and", [null_cmp, Literal(True)]).evaluate(
+        (None,), layout) is None
+    assert (~null_cmp).evaluate((None,), layout) is None
+
+
+def test_between():
+    assert Between(col("a"), 5, 15).evaluate(ROW, LAYOUT) is True
+    assert Between(col("a"), 11, 15).evaluate(ROW, LAYOUT) is False
+
+
+def test_in_list():
+    assert InList(col("s"), ["shipped", "pending"]).evaluate(
+        ROW, LAYOUT) is True
+    assert InList(col("a"), [1, 2]).evaluate(ROW, LAYOUT) is False
+    with pytest.raises(ExpressionError):
+        InList(col("a"), [])
+
+
+def test_like_shapes():
+    assert Like(col("s"), "ship%").evaluate(ROW, LAYOUT) is True
+    assert Like(col("s"), "%pped").evaluate(ROW, LAYOUT) is True
+    assert Like(col("s"), "%hip%").evaluate(ROW, LAYOUT) is True
+    assert Like(col("s"), "shipped").evaluate(ROW, LAYOUT) is True
+    assert Like(col("s"), "pend%").evaluate(ROW, LAYOUT) is False
+    with pytest.raises(ExpressionError):
+        Like(col("s"), "a%b")
+
+
+def test_columns_collected():
+    expr = (col("a") + col("b")) > Literal(1)
+    assert expr.columns() == {"a", "b"}
+
+
+def test_cycles_positive_and_compositional():
+    simple = col("a") == 1
+    compound = simple & (col("b") > 2) & (col("s") == Literal("x"))
+    assert 0 < simple.cycles() < compound.cycles()
+
+
+def test_expr_not_truthy():
+    with pytest.raises(ExpressionError):
+        bool(col("a") == 1)
+
+
+def test_make_layout_rejects_duplicates():
+    with pytest.raises(ExpressionError):
+        make_layout(["a", "a"])

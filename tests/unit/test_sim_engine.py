@@ -1,0 +1,336 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulation(start=5.0)
+    assert sim.now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        Simulation(start=-1.0)
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+    done = []
+
+    def proc():
+        yield sim.timeout(3.5)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [3.5]
+
+
+def test_zero_delay_timeout():
+    sim = Simulation()
+    done = []
+
+    def proc():
+        yield sim.timeout(0.0)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulation()
+    order = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.spawn(proc("c", 3.0))
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 2.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_spawn_order():
+    sim = Simulation()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in "abcde":
+        sim.spawn(proc(name))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulation()
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append((sim.now, name))
+
+        for i, name in enumerate("xyz"):
+            sim.spawn(proc(name, float(i % 2)))
+        sim.run()
+        return order
+
+    assert build() == build()
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulation()
+    stamps = []
+
+    def proc():
+        for _ in range(4):
+            yield sim.timeout(0.25)
+            stamps.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert stamps == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+
+def test_run_until_time_stops_early():
+    sim = Simulation()
+    done = []
+
+    def proc():
+        yield sim.timeout(10.0)
+        done.append("late")
+
+    sim.spawn(proc())
+    sim.run(until=5.0)
+    assert done == []
+    assert sim.now == 5.0
+
+
+def test_run_until_time_advances_clock_with_empty_queue():
+    sim = Simulation()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulation(start=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+def test_process_return_value_via_run_until_event():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    result = sim.run(until=sim.spawn(proc()))
+    return_value = result
+    assert return_value == 42
+
+
+def test_process_waits_on_process():
+    sim = Simulation()
+    log = []
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        value = yield sim.spawn(child())
+        log.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == [(2.0, "child-result")]
+
+
+def test_unhandled_process_exception_raises_at_run():
+    sim = Simulation()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_exception_propagates_to_waiting_process():
+    sim = Simulation()
+    caught = []
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.spawn(bad())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_run_until_failed_process_raises():
+    sim = Simulation()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    process = sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run(until=process)
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulation()
+
+    def bad():
+        yield 123
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError, match="must yield Event"):
+        sim.run()
+
+
+def test_spawn_requires_generator():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulation()
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert log == [(3.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulation()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulation()
+
+    def proc(value, delay):
+        yield sim.timeout(delay)
+        return value
+
+    def main():
+        children = [sim.spawn(proc(v, d))
+                    for v, d in [("a", 3.0), ("b", 1.0), ("c", 2.0)]]
+        values = yield sim.all_of(children)
+        return values
+
+    assert sim.run(until=sim.spawn(main())) == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulation()
+
+    def main():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run(until=sim.spawn(main())) == []
+
+
+def test_any_of_returns_first_value():
+    sim = Simulation()
+
+    def proc(value, delay):
+        yield sim.timeout(delay)
+        return value
+
+    def main():
+        children = [sim.spawn(proc("slow", 5.0)), sim.spawn(proc("fast", 1.0))]
+        winner = yield sim.any_of(children)
+        return winner
+
+    assert sim.run(until=sim.spawn(main())) == "fast"
+    assert sim.now == 1.0
+
+
+def test_any_of_requires_events():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulation()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except SimulationError as exc:
+            log.append((sim.now, str(exc)))
+
+    def killer(victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("preempted")
+
+    victim = sim.spawn(sleeper())
+    sim.spawn(killer(victim))
+    sim.run()
+    assert log == [(2.0, "preempted")]
+
+
+def test_step_with_empty_queue_raises():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.step()

@@ -1,0 +1,214 @@
+"""Unit tests for column files and the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError, StorageError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.storage.buffer import BufferPool, ReplacementPolicy
+from repro.storage.column import ColumnFile
+
+
+def orders_schema():
+    return TableSchema("orders", [
+        Column("okey", DataType.INT64, nullable=False),
+        Column("status", DataType.VARCHAR, nullable=False),
+        Column("total", DataType.FLOAT64, nullable=False),
+    ])
+
+
+def sample_rows(n=500):
+    return [(i, ["P", "F", "O"][i % 3], float(i) * 1.5) for i in range(n)]
+
+
+class TestColumnFile:
+    def test_scan_returns_all_rows(self):
+        cf = ColumnFile(orders_schema(), segment_rows=64)
+        rows = sample_rows()
+        cf.append_many(rows)
+        assert list(cf.scan()) == rows
+
+    def test_projection_scan(self):
+        cf = ColumnFile(orders_schema(), segment_rows=64)
+        cf.append_many(sample_rows(10))
+        assert list(cf.scan(["okey"])) == [(i,) for i in range(10)]
+
+    def test_column_order_in_projection(self):
+        cf = ColumnFile(orders_schema())
+        cf.append_many(sample_rows(3))
+        got = list(cf.scan(["total", "okey"]))
+        assert got[0] == (0.0, 0)
+
+    def test_compression_reduces_bytes(self):
+        cf = ColumnFile(orders_schema(), codecs={"status": "dictionary"},
+                        segment_rows=128)
+        cf.append_many(sample_rows())
+        assert cf.column_compressed_bytes("status") < \
+            cf.column_plain_bytes("status") / 3
+
+    def test_compression_ratio_uncompressed_near_one(self):
+        cf = ColumnFile(orders_schema(), segment_rows=128)
+        cf.append_many(sample_rows())
+        # plain encoding carries small segment headers
+        assert cf.compression_ratio() == pytest.approx(1.0, abs=0.05)
+
+    def test_codec_by_string_name(self):
+        cf = ColumnFile(orders_schema(), codecs={"okey": "delta"})
+        cf.append_many(sample_rows(100))
+        assert cf.codec_for("okey").name == "delta"
+        assert list(cf.scan(["okey"])) == [(i,) for i in range(100)]
+
+    def test_unsupported_codec_type_rejected(self):
+        with pytest.raises(StorageError):
+            ColumnFile(orders_schema(), codecs={"status": "delta"})
+
+    def test_unknown_column_rejected(self):
+        cf = ColumnFile(orders_schema())
+        cf.append_many(sample_rows(5))
+        with pytest.raises(StorageError):
+            list(cf.scan(["ghost"]))
+
+    def test_partial_segment_sealed_on_scan(self):
+        cf = ColumnFile(orders_schema(), segment_rows=1000)
+        cf.append_many(sample_rows(5))  # below segment threshold
+        assert len(list(cf.scan())) == 5
+
+    def test_size_bytes_of_projection_smaller(self):
+        cf = ColumnFile(orders_schema(), segment_rows=128)
+        cf.append_many(sample_rows())
+        assert cf.size_bytes(["okey"]) < cf.size_bytes()
+
+    def test_row_count(self):
+        cf = ColumnFile(orders_schema())
+        cf.append_many(sample_rows(42))
+        assert cf.row_count == 42
+
+
+class TestBufferPool:
+    def make_pool(self, capacity=3, policy=ReplacementPolicy.LRU, **kw):
+        from repro.sim import Simulation
+        sim = Simulation()
+        return sim, BufferPool(sim, capacity, policy=policy, **kw)
+
+    def test_miss_then_hit(self):
+        _sim, pool = self.make_pool()
+        assert pool.get("p1") is None
+        pool.put("p1", "payload")
+        assert pool.get("p1") == "payload"
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_evicts_least_recent(self):
+        _sim, pool = self.make_pool(capacity=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.get("a")
+        evicted = pool.put("c", 3)
+        assert [e.key for e in evicted] == ["b"]
+
+    def test_clock_gives_second_chance(self):
+        _sim, pool = self.make_pool(capacity=2,
+                                    policy=ReplacementPolicy.CLOCK)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.get("a")  # sets a's ref bit (already set on insert)
+        evicted = pool.put("c", 3)
+        # clock clears ref bits on first sweep, evicts first unreferenced
+        assert len(evicted) == 1
+
+    def test_pinned_pages_not_evicted(self):
+        _sim, pool = self.make_pool(capacity=2)
+        pool.put("a", 1, pin=True)
+        pool.put("b", 2)
+        evicted = pool.put("c", 3)
+        assert [e.key for e in evicted] == ["b"]
+
+    def test_all_pinned_raises(self):
+        _sim, pool = self.make_pool(capacity=1)
+        pool.put("a", 1, pin=True)
+        with pytest.raises(BufferPoolError):
+            pool.put("b", 2)
+
+    def test_unpin_allows_eviction(self):
+        _sim, pool = self.make_pool(capacity=1)
+        pool.put("a", 1, pin=True)
+        pool.unpin("a")
+        evicted = pool.put("b", 2)
+        assert [e.key for e in evicted] == ["a"]
+
+    def test_unpin_unpinned_rejected(self):
+        _sim, pool = self.make_pool()
+        pool.put("a", 1)
+        with pytest.raises(BufferPoolError):
+            pool.unpin("a")
+
+    def test_dirty_flag_travels_with_eviction(self):
+        _sim, pool = self.make_pool(capacity=1)
+        pool.put("a", 1)
+        pool.mark_dirty("a")
+        evicted = pool.put("b", 2)
+        assert evicted[0].dirty
+
+    def test_duplicate_put_rejected(self):
+        _sim, pool = self.make_pool()
+        pool.put("a", 1)
+        with pytest.raises(BufferPoolError):
+            pool.put("a", 2)
+
+    def test_energy_aware_prefers_evicting_cheap_pages(self):
+        sim, pool = self.make_pool(capacity=2,
+                                   policy=ReplacementPolicy.ENERGY_AWARE,
+                                   page_residency_watts=0.001)
+        pool.put("ssd-page", 1, fetch_energy_joules=0.01)
+        pool.put("disk-page", 2, fetch_energy_joules=5.0)
+        # Same recency; the cheap-to-refetch SSD page should go.
+        evicted = pool.put("new", 3, fetch_energy_joules=1.0)
+        assert [e.key for e in evicted] == ["ssd-page"]
+
+    def test_energy_aware_uses_reaccess_interval(self):
+        from repro.sim import Simulation
+        sim = Simulation()
+        pool = BufferPool(sim, 2, policy=ReplacementPolicy.ENERGY_AWARE,
+                          page_residency_watts=0.001)
+
+        def scenario():
+            pool.put("hot", 1, fetch_energy_joules=1.0)
+            pool.put("cold", 2, fetch_energy_joules=1.0)
+            # hot page re-accessed frequently -> short EWMA interval
+            for _ in range(5):
+                yield sim.timeout(0.1)
+                pool.get("hot")
+            yield sim.timeout(10.0)
+            pool.get("cold")  # long interval for cold
+            evicted = pool.put("new", 3, fetch_energy_joules=1.0)
+            assert [e.key for e in evicted] == ["cold"]
+
+        sim.run(until=sim.spawn(scenario()))
+
+    def test_flush_returns_everything_unpinned(self):
+        _sim, pool = self.make_pool(capacity=3)
+        pool.put("a", 1)
+        pool.put("b", 2, pin=True)
+        pool.put("c", 3)
+        out = pool.flush()
+        assert sorted(e.key for e in out) == ["a", "c"]
+        assert "b" in pool
+
+    def test_hit_rate(self):
+        _sim, pool = self.make_pool()
+        pool.get("x")
+        pool.put("x", 1)
+        pool.get("x")
+        pool.get("x")
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_residency_power(self):
+        _sim, pool = self.make_pool(capacity=3, page_residency_watts=0.5)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        assert pool.residency_power_watts() == pytest.approx(1.0)
+
+    def test_capacity_validation(self):
+        from repro.sim import Simulation
+        with pytest.raises(BufferPoolError):
+            BufferPool(Simulation(), 0)

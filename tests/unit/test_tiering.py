@@ -1,0 +1,149 @@
+"""Unit tests for tiered placement and energy-motivated redundancy."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.tiering import (
+    StorageTier,
+    TableProfile,
+    TieringAdvisor,
+)
+from repro.units import GB, MB
+
+SSD = StorageTier("ssd", capacity_bytes=100 * GB,
+                  bandwidth_bytes_per_s=500 * MB,
+                  active_watts=3.0, idle_watts=0.3,
+                  standby_watts=0.1, can_sleep=True)
+FAST_DISKS = StorageTier("fast-disks", capacity_bytes=1000 * GB,
+                         bandwidth_bytes_per_s=300 * MB,
+                         active_watts=40.0, idle_watts=30.0,
+                         standby_watts=5.0, can_sleep=True)
+ARCHIVE = StorageTier("archive", capacity_bytes=4000 * GB,
+                      bandwidth_bytes_per_s=150 * MB,
+                      active_watts=25.0, idle_watts=18.0,
+                      standby_watts=2.0, can_sleep=True)
+
+
+def advisor():
+    return TieringAdvisor([SSD, FAST_DISKS, ARCHIVE])
+
+
+class TestTierModel:
+    def test_busy_fraction_clamped(self):
+        assert SSD.busy_fraction(250 * MB) == pytest.approx(0.5)
+        assert SSD.busy_fraction(10_000 * MB) == 1.0
+
+    def test_power_interpolates(self):
+        assert FAST_DISKS.power_watts(0.0) == pytest.approx(30.0)
+        assert FAST_DISKS.power_watts(300 * MB) == pytest.approx(40.0)
+        assert FAST_DISKS.power_watts(150 * MB) == pytest.approx(35.0)
+
+    def test_unpowered_sleepable_tier_draws_standby(self):
+        assert FAST_DISKS.power_watts(0.0, powered=False) == \
+            pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            StorageTier("bad", capacity_bytes=0,
+                        bandwidth_bytes_per_s=1.0,
+                        active_watts=1.0, idle_watts=0.5)
+        with pytest.raises(StorageError):
+            StorageTier("bad", capacity_bytes=1.0,
+                        bandwidth_bytes_per_s=1.0,
+                        active_watts=1.0, idle_watts=2.0)
+        with pytest.raises(StorageError):
+            TableProfile("t", size_bytes=0)
+
+
+class TestPlacement:
+    def test_hot_table_lands_on_ssd(self):
+        plan = advisor().place([
+            TableProfile("hot", 20 * GB, read_bytes_per_s=100 * MB),
+            TableProfile("cold", 500 * GB, read_bytes_per_s=0.1 * MB),
+        ])
+        assert plan.assignments["hot"] == "ssd"
+
+    def test_capacity_respected(self):
+        plan = advisor().place([
+            TableProfile("huge", 2000 * GB, read_bytes_per_s=50 * MB),
+        ])
+        assert plan.assignments["huge"] == "archive"  # only tier that fits
+
+    def test_unplaceable_table_rejected(self):
+        with pytest.raises(StorageError):
+            advisor().place([TableProfile("too-big", 10_000 * GB)])
+
+    def test_unused_sleepable_tiers_sleep(self):
+        plan = advisor().place([
+            TableProfile("tiny", 1 * GB, read_bytes_per_s=1 * MB)])
+        assert plan.assignments["tiny"] == "ssd"
+        assert "fast-disks" in plan.sleeping_tiers
+        assert "archive" in plan.sleeping_tiers
+        assert plan.tier_watts["fast-disks"] == pytest.approx(5.0)
+
+    def test_total_watts_sums_tiers(self):
+        plan = advisor().place([
+            TableProfile("a", 10 * GB, read_bytes_per_s=10 * MB),
+            TableProfile("b", 500 * GB, read_bytes_per_s=10 * MB),
+        ])
+        assert plan.total_watts == pytest.approx(
+            sum(plan.tier_watts.values()))
+
+
+class TestReplication:
+    def test_replica_saving_for_read_only_table(self):
+        adv = advisor()
+        table = TableProfile("reads", 30 * GB,
+                             read_bytes_per_s=60 * MB)
+        saving = adv.replication_saving_watts(table, FAST_DISKS, SSD)
+        # disk drops to standby (30 -> 5 is captured via idle delta) and
+        # sheds its read busy power; ssd picks up a small load
+        assert saving > 20.0
+
+    def test_writes_block_the_sleep(self):
+        adv = advisor()
+        read_only = TableProfile("r", 30 * GB, read_bytes_per_s=60 * MB)
+        read_write = TableProfile("rw", 30 * GB,
+                                  read_bytes_per_s=60 * MB,
+                                  write_bytes_per_s=5 * MB)
+        assert adv.replication_saving_watts(read_only, FAST_DISKS, SSD) > \
+            adv.replication_saving_watts(read_write, FAST_DISKS, SSD)
+
+    def test_pinned_table_stays_on_its_tier(self):
+        plan = advisor().place([
+            TableProfile("ledger", 20 * GB, read_bytes_per_s=100 * MB,
+                         pinned_tier="fast-disks")])
+        assert plan.assignments["ledger"] == "fast-disks"
+
+    def test_pinned_table_too_big_rejected(self):
+        with pytest.raises(StorageError):
+            advisor().place([
+                TableProfile("ledger", 200 * GB, pinned_tier="ssd")])
+
+    def test_plan_with_replicas_beats_plain_plan(self):
+        """The paper's §5.1 trick: the system of record is pinned to the
+        disk tier; a flash read replica lets those disks sleep."""
+        tables = [
+            TableProfile("warehouse", 80 * GB,
+                         read_bytes_per_s=80 * MB,
+                         pinned_tier="fast-disks"),
+            TableProfile("archive_logs", 2000 * GB,
+                         read_bytes_per_s=0.0,
+                         pinned_tier="archive"),
+        ]
+        adv = advisor()
+        plain = adv.place(tables)
+        replicated = adv.plan_with_replicas(tables)
+        assert replicated.replicas["warehouse"] == "ssd"
+        assert replicated.total_watts < 0.7 * plain.total_watts
+
+    def test_replica_frees_home_tier_to_sleep(self):
+        tables = [TableProfile("hotset", 40 * GB,
+                               read_bytes_per_s=90 * MB,
+                               pinned_tier="fast-disks")]
+        adv = TieringAdvisor([FAST_DISKS, SSD])
+        plan = adv.plan_with_replicas(tables)
+        assert plan.replicas["hotset"] == "ssd"
+        assert "fast-disks" in plan.sleeping_tiers
+        assert plan.tier_watts["fast-disks"] == pytest.approx(
+            FAST_DISKS.standby_watts)

@@ -1,0 +1,197 @@
+"""Unit tests for units helpers, the catalog, and the storage manager."""
+
+from datetime import date
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError, StorageError
+from repro.hardware.raid import RaidArray
+from repro.hardware.ssd import FlashSsd, SsdSpec
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+from repro.units import (
+    GIB,
+    KWH,
+    joules,
+    pretty_bytes,
+    pretty_time,
+    watts,
+)
+
+
+class TestUnits:
+    def test_joules_is_power_times_time(self):
+        assert joules(90.0, 3.2) == pytest.approx(288.0)
+
+    def test_watts_inverse(self):
+        assert watts(288.0, 3.2) == pytest.approx(90.0)
+
+    def test_joules_validation(self):
+        with pytest.raises(ValueError):
+            joules(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            joules(1.0, -1.0)
+        with pytest.raises(ValueError):
+            watts(1.0, 0.0)
+
+    def test_kwh_constant(self):
+        assert KWH == pytest.approx(3.6e6)
+
+    def test_pretty_bytes(self):
+        assert pretty_bytes(512) == "512 B"
+        assert pretty_bytes(2048) == "2.0 KiB"
+        assert pretty_bytes(3 * GIB) == "3.0 GiB"
+
+    def test_pretty_time(self):
+        assert pretty_time(5e-5) == "50 us"
+        assert pretty_time(0.25) == "250.0 ms"
+        assert pretty_time(3.2) == "3.20 s"
+        assert pretty_time(90.0) == "1.5 min"
+        assert pretty_time(7200.0) == "2.00 h"
+        assert pretty_time(-3.2) == "-3.20 s"
+
+
+def people():
+    return TableSchema("people", [
+        Column("id", DataType.INT64, nullable=False),
+        Column("name", DataType.VARCHAR),
+    ])
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register(people())
+        assert "people" in catalog
+        assert catalog.schema("people").column("id").dtype is \
+            DataType.INT64
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.register(people())
+        with pytest.raises(CatalogError):
+            catalog.register(people())
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog().schema("ghost")
+
+    def test_unregister(self):
+        catalog = Catalog()
+        catalog.register(people())
+        catalog.unregister("people")
+        assert "people" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.unregister("people")
+
+    def test_statistics_lifecycle(self):
+        from repro.optimizer.stats import TableStatistics
+        catalog = Catalog()
+        catalog.register(people())
+        assert catalog.statistics("people") is None
+        stats = TableStatistics("people", 10, 100, 90)
+        catalog.set_statistics("people", stats)
+        assert catalog.statistics("people") is stats
+        with pytest.raises(CatalogError):
+            catalog.set_statistics("ghost", stats)
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.register(TableSchema("zz", [Column("a", DataType.INT32)]))
+        catalog.register(TableSchema("aa", [Column("a", DataType.INT32)]))
+        assert catalog.table_names() == ["aa", "zz"]
+
+
+class TestSchemaExtras:
+    def test_project_preserves_order(self):
+        schema = people()
+        projected = schema.project(["name", "id"], new_name="p2")
+        assert projected.name == "p2"
+        assert projected.column_names() == ["name", "id"]
+
+    def test_project_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            people().project(["ghost"])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError):
+            people().validate_row((None, "x"))
+
+    def test_arity_enforced(self):
+        with pytest.raises(SchemaError):
+            people().validate_row((1,))
+
+    def test_type_enforced(self):
+        with pytest.raises(SchemaError):
+            people().validate_row(("not-an-int", "x"))
+
+    def test_int32_range_enforced(self):
+        schema = TableSchema("t", [Column("a", DataType.INT32)])
+        with pytest.raises(SchemaError):
+            schema.validate_row((2**40,))
+
+    def test_date_round_trip_via_types(self):
+        encoded = DataType.DATE.encode(date(1998, 9, 2))
+        value, consumed = DataType.DATE.decode(encoded)
+        assert value == date(1998, 9, 2)
+        assert consumed == 4
+
+
+class TestStorageManager:
+    def make(self):
+        sim = Simulation()
+        ssd = FlashSsd(sim, SsdSpec(name="s"))
+        array = RaidArray(sim, [ssd])
+        return StorageManager(sim), array
+
+    def test_create_and_contains(self):
+        storage, array = self.make()
+        storage.create_table(people(), layout="row", placement=array)
+        assert "people" in storage
+        assert storage.table("people").row_count == 0
+
+    def test_duplicate_table_rejected(self):
+        storage, array = self.make()
+        storage.create_table(people(), layout="row", placement=array)
+        with pytest.raises(StorageError):
+            storage.create_table(people(), layout="row", placement=array)
+
+    def test_drop_table(self):
+        storage, array = self.make()
+        storage.create_table(people(), layout="row", placement=array)
+        storage.drop_table("people")
+        assert "people" not in storage
+        with pytest.raises(StorageError):
+            storage.drop_table("people")
+
+    def test_unknown_layout_rejected(self):
+        storage, array = self.make()
+        with pytest.raises(StorageError):
+            storage.create_table(people(), layout="diagonal",
+                                 placement=array)
+
+    def test_row_layout_rejects_codecs(self):
+        storage, array = self.make()
+        with pytest.raises(StorageError):
+            storage.create_table(people(), layout="row", placement=array,
+                                 codecs={"id": "delta"})
+
+    def test_tables_sorted(self):
+        storage, array = self.make()
+        storage.create_table(TableSchema("zz", [Column("a",
+                                                       DataType.INT32)]),
+                             layout="row", placement=array)
+        storage.create_table(TableSchema("aa", [Column("a",
+                                                       DataType.INT32)]),
+                             layout="row", placement=array)
+        assert [t.name for t in storage.tables()] == ["aa", "zz"]
+
+    def test_row_store_projection_iterate(self):
+        storage, array = self.make()
+        table = storage.create_table(people(), layout="row",
+                                     placement=array)
+        table.load([(1, "a"), (2, "b")])
+        assert list(table.iterate(["name"])) == [("a",), ("b",)]
