@@ -6,18 +6,34 @@ them to pytest-benchmark's ``extra_info`` so they land in the JSON
 output as well.  Simulated results are deterministic, so each benchmark
 runs its workload exactly once (``rounds=1``) — the interesting numbers
 are the simulated seconds/Joules, not the host's wall clock.
+
+Sweep-style benchmarks go through :func:`run_spec`, which executes an
+:class:`repro.runner.ExperimentSpec` on a process pool
+(``$REPRO_BENCH_WORKERS``, default 2) backed by the shared on-disk
+result cache (``$REPRO_CACHE_DIR``, default ``.repro-cache/``) — so a
+repeated benchmark/CI run skips every already-simulated point.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Sequence
 
 from repro.core.report import format_table
+from repro.runner import ExperimentSpec, Runner, RunResult
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:
     """Run a deterministic experiment once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_spec(spec: ExperimentSpec, workers: int | None = None
+             ) -> RunResult:
+    """Execute a spec with the harness-wide pool/cache settings."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    return Runner(workers=workers, cache=True).run(spec)
 
 
 def emit(benchmark, title: str, headers: Sequence[str],

@@ -5,29 +5,35 @@ configuration."  We sweep the CPU's DVFS fraction against the Figure 2
 scan in both storage configurations and show the optimum under energy
 is NOT the fastest setting: lowering the clock costs time but saves
 busy-energy (dynamic power falls cubically while time grows linearly).
+
+The sweep is a single 2x4 ``ExperimentSpec`` grid executed through the
+parallel, cached runner.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_once, run_spec
 
-from repro.workloads.scan_workload import run_scan_experiment
+from repro.runner import ExperimentSpec
 
 DVFS_LEVELS = (1.0, 0.85, 0.7, 0.55)
 
+SPEC = ExperimentSpec("scan", knobs={
+    "compressed": [False, True],
+    "dvfs_fraction": list(DVFS_LEVELS),
+    "scale_factor": 0.001,
+}, profile="flash_scan_node")
+
 
 def sweep():
-    rows = []
-    for compressed in (False, True):
-        for fraction in DVFS_LEVELS:
-            report = run_scan_experiment(compressed=compressed,
-                                         scale_factor=0.001,
-                                         dvfs_fraction=fraction)
-            rows.append({
-                "compressed": compressed,
-                "dvfs": fraction,
-                "seconds": report.total_seconds,
-                "joules": report.energy_joules,
-            })
-    return rows
+    run = run_spec(SPEC)
+    return [
+        {
+            "compressed": p.knobs["compressed"],
+            "dvfs": p.knobs["dvfs_fraction"],
+            "seconds": p.report.total_seconds,
+            "joules": p.report.energy_joules,
+        }
+        for p in run.points
+    ]
 
 
 def test_most_efficient_knob_setting_is_not_fastest(benchmark):
@@ -38,7 +44,8 @@ def test_most_efficient_knob_setting_is_not_fastest(benchmark):
          [("yes" if r["compressed"] else "no", r["dvfs"],
            round(r["seconds"], 2), round(r["joules"], 1)) for r in rows],
          fastest=min(rows, key=lambda r: r["seconds"])["dvfs"],
-         most_efficient=min(rows, key=lambda r: r["joules"])["dvfs"])
+         most_efficient=min(rows, key=lambda r: r["joules"])["dvfs"],
+         spec_hash=SPEC.spec_hash()[:12])
     fastest = min(rows, key=lambda r: r["seconds"])
     frugal = min(rows, key=lambda r: r["joules"])
     # the energy optimum is a *different* configuration than the fastest

@@ -5,81 +5,39 @@ curve, and compute the proportionality index.  The real server's energy
 efficiency collapses at low utilization — Barroso & Hölzle's "mostly
 10-50 % utilized" regime — while an ideal proportional machine keeps EE
 constant at every load level.
+
+Both machines are swept through the ``proportionality`` experiment via
+the cached parallel runner; the ideal sweep is seeded with the real
+machine's measured peak watts.
 """
 
 import pytest
-from conftest import emit, run_once
+from conftest import emit, run_once, run_spec
 
-from repro.hardware.profiles import commodity
-from repro.hardware.proportionality import (
-    IdealProportionalDevice,
-    proportionality_index,
-)
-from repro.sim import Simulation
+from repro.hardware.proportionality import proportionality_index
+from repro.runner import ExperimentSpec
 
 UTILIZATIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
 WINDOW_SECONDS = 100.0
-PERIOD_SECONDS = 1.0
-
-
-def duty_cycle_real(utilization):
-    """Run the commodity server's CPU+disks at a duty cycle; return
-    (average watts, work done)."""
-    sim = Simulation()
-    server, array = commodity(sim)
-    busy = utilization * PERIOD_SECONDS
-    work_seconds = 0.0
-
-    def loop():
-        nonlocal work_seconds
-        cycles_per_busy = busy * server.cpu.effective_frequency_hz \
-            * server.cpu.spec.cores
-        while sim.now < WINDOW_SECONDS - 1e-9:
-            if busy > 0:
-                io = sim.spawn(array.read(
-                    busy * 100e6, stream="duty"))
-                yield from server.cpu.execute(cycles_per_busy,
-                                              parallelism=4)
-                yield io
-                work_seconds += busy
-            # sleep to the next period boundary (no-op if already on it)
-            next_boundary = (int(sim.now / PERIOD_SECONDS + 1e-9) + 1) \
-                * PERIOD_SECONDS
-            if busy >= PERIOD_SECONDS - 1e-9:
-                continue  # fully loaded: no idle phase
-            yield sim.timeout(max(0.0, next_boundary - sim.now))
-
-    sim.run(until=sim.spawn(loop()))
-    sim.run(until=WINDOW_SECONDS)
-    watts = server.meter.energy_joules(0.0, WINDOW_SECONDS) / WINDOW_SECONDS
-    return watts, work_seconds
-
-
-def duty_cycle_ideal(utilization, peak_watts):
-    sim = Simulation()
-    device = IdealProportionalDevice(sim, "ideal", peak_watts=peak_watts)
-    work_seconds = 0.0
-
-    def loop():
-        nonlocal work_seconds
-        while sim.now < WINDOW_SECONDS - 1e-9:
-            busy = utilization * PERIOD_SECONDS
-            if busy > 0:
-                yield from device.occupy(busy)
-                work_seconds += busy
-            if PERIOD_SECONDS - busy > 1e-12:
-                yield sim.timeout(PERIOD_SECONDS - busy)
-
-    sim.run(until=sim.spawn(loop()))
-    sim.run(until=WINDOW_SECONDS)
-    watts = device.energy_joules(0.0, WINDOW_SECONDS) / WINDOW_SECONDS
-    return watts, work_seconds
 
 
 def sweep():
-    real = [duty_cycle_real(u) for u in UTILIZATIONS]
+    real_run = run_spec(ExperimentSpec("proportionality", knobs={
+        "utilization": UTILIZATIONS,
+        "kind": "real",
+        "window_seconds": WINDOW_SECONDS,
+    }, profile="commodity"))
+    real = [(p.report.average_watts, p.report.work_seconds)
+            for p in real_run.points]
     peak = real[-1][0]
-    ideal = [duty_cycle_ideal(u, peak) for u in UTILIZATIONS]
+    ideal_run = run_spec(ExperimentSpec("proportionality", knobs={
+        "utilization": UTILIZATIONS,
+        "kind": "ideal",
+        "window_seconds": WINDOW_SECONDS,
+        "peak_watts": peak,
+    }, profile="commodity"))
+    ideal = [(p.report.average_watts, p.report.work_seconds)
+             for p in ideal_run.points]
     return real, ideal
 
 

@@ -8,14 +8,16 @@ Paper's findings this bench must reproduce in shape:
     45 %) for an efficiency gain (paper: 14 %).
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_once, run_spec
 
-from repro.core.experiments import run_figure1
 from repro.hardware.profiles import FIG1_DISK_COUNTS
+from repro.runner import ExperimentSpec
 
 
 def test_figure1_disk_sweep(benchmark):
-    result = run_once(benchmark, lambda: run_figure1())
+    spec = ExperimentSpec("fig1", profile="dl785")
+    run = run_once(benchmark, lambda: run_spec(spec))
+    result = run.aggregate()
     rows = [(n, round(t, 1), round(p, 0), ee * 1e6)
             for (n, t, p, ee) in result.rows()]
     gain, drop = result.tradeoff()
@@ -26,7 +28,9 @@ def test_figure1_disk_sweep(benchmark):
          most_efficient_disks=result.most_efficient_disks,
          fastest_disks=result.fastest_disks,
          efficiency_gain_pct=round(gain * 100, 1),
-         performance_drop_pct=round(drop * 100, 1))
+         performance_drop_pct=round(drop * 100, 1),
+         spec_hash=spec.spec_hash()[:12],
+         cache_hits=run.cache_hits)
 
     times = [r.makespan_seconds for r in result.reports]
     # performance improves monotonically with disks...

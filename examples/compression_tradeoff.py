@@ -10,10 +10,10 @@ relieves.  Then the design advisor explains which choice each
 objective should make on this hardware.
 """
 
-from repro.core.experiments import run_figure2
 from repro.core.report import format_table
 from repro.hardware.profiles import flash_scan_node
 from repro.optimizer import DesignAdvisor, Objective
+from repro.runner import ExperimentSpec, Runner
 from repro.sim import Simulation
 from repro.storage.manager import StorageManager
 from repro.workloads.tpch_gen import generate_tpch
@@ -22,7 +22,9 @@ from repro.workloads.tpch_schema import ORDERS_SCAN_COLUMNS
 
 def main() -> None:
     print("Reproducing Figure 2 (uncompressed vs compressed scan)...\n")
-    result = run_figure2()
+    run = Runner(workers=2, cache=True).run(
+        ExperimentSpec("fig2", profile="flash_scan_node"))
+    result = run.aggregate()
     print(format_table(
         ["config", "total_s", "cpu_s", "io_s", "joules", "ratio"],
         [(report and name, round(report.total_seconds, 2),

@@ -9,9 +9,13 @@ experiments plus ablations for its research agenda.
 
 Quick start::
 
-    from repro.core import run_figure2
-    result = run_figure2()
-    print(result.rows())          # Figure 2, regenerated
+    from repro import ExperimentSpec, Runner
+    run = Runner(workers=4).run(ExperimentSpec("fig2"))
+    print(run.aggregate().rows())     # Figure 2, regenerated
+
+or, from a shell::
+
+    python -m repro.runner run fig1 --disks 36,66 --workers 2
 """
 
 from repro.core.experiments import run_figure1, run_figure2
@@ -19,15 +23,20 @@ from repro.core.metrics import energy_efficiency, perf_per_watt
 from repro.relational.executor import ExecutionContext, Executor, QueryResult
 from repro.sim import Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExecutionContext",
     "Executor",
+    "ExperimentSpec",
     "QueryResult",
+    "RunResult",
+    "Runner",
     "Simulation",
     "energy_efficiency",
     "perf_per_watt",
     "run_figure1",
     "run_figure2",
 ]
+
+from repro.runner import ExperimentSpec, Runner, RunResult  # noqa: E402

@@ -20,6 +20,8 @@ from repro.core.profiler import (
 from repro.core.experiments import (
     Figure1Result,
     Figure2Result,
+    figure1_point,
+    figure2_point,
     run_figure1,
     run_figure2,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "TcoModel",
     "energy_delay_product",
     "energy_efficiency",
+    "figure1_point",
+    "figure2_point",
     "format_table",
     "perf_per_watt",
     "run_figure1",

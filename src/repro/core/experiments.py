@@ -3,19 +3,27 @@
 Shared by the benchmark harness, the examples, and the integration
 tests, so the numbers in EXPERIMENTS.md come from exactly one code
 path.
+
+The sweep *machinery* lives in :mod:`repro.runner`: this module only
+defines the physics of a single sweep point (:func:`figure1_point`,
+:func:`figure2_point`) and the figure-level result containers.  The
+historical entry points :func:`run_figure1` / :func:`run_figure2` are
+kept as deprecated shims that route through a serial
+:class:`~repro.runner.Runner`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.profiler import EnergyProfile, ProfilePoint
 from repro.hardware.profiles import FIG1_DISK_COUNTS, dl785
 from repro.sim import Simulation
 from repro.storage.manager import StorageManager
-from repro.workloads.scan_workload import ScanReport, run_scan_experiment
-from repro.workloads.throughput import ThroughputReport, run_throughput_test
+from repro.workloads.scan_workload import ScanReport, run_scan
+from repro.workloads.throughput import ThroughputReport, run_throughput
 from repro.workloads.tpch_gen import generate_tpch
 from repro.workloads.tpch_queries import throughput_mix
 
@@ -58,6 +66,45 @@ class Figure1Result:
             for n, r in zip(self.disk_counts, self.reports)
         ]
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "disk_counts": list(self.disk_counts),
+            "reports": [r.to_dict() for r in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Figure1Result":
+        return cls(disk_counts=list(data["disk_counts"]),
+                   reports=[ThroughputReport.from_dict(r)
+                            for r in data["reports"]])
+
+
+def figure1_point(disks: int,
+                  physical_scale_factor: float = 0.002,
+                  logical_scale_factor: float = 300.0,
+                  streams: int = 6,
+                  queries_per_stream: int = 3,
+                  parallelism: int = 4,
+                  spindle_groups: int = 12,
+                  seed: int = 2009) -> ThroughputReport:
+    """One Figure 1 sweep point: the TPC-H throughput test at ``disks``.
+
+    Data is generated at ``physical_scale_factor`` and replayed as if
+    at ``logical_scale_factor`` (the audited system ran SF 300).
+    Hardware is the DL785 profile with RAID 5.
+    """
+    sim = Simulation()
+    server, array = dl785(sim, n_disks=disks,
+                          spindle_groups=spindle_groups)
+    storage = StorageManager(sim)
+    db = generate_tpch(storage, array,
+                       scale_factor=physical_scale_factor, seed=seed)
+    mix = throughput_mix(db, parallelism=parallelism)
+    return run_throughput(
+        sim, server, mix, streams=streams,
+        queries_per_stream=queries_per_stream,
+        scale=logical_scale_factor / physical_scale_factor)
+
 
 def run_figure1(disk_counts: Sequence[int] = FIG1_DISK_COUNTS,
                 physical_scale_factor: float = 0.002,
@@ -66,26 +113,29 @@ def run_figure1(disk_counts: Sequence[int] = FIG1_DISK_COUNTS,
                 queries_per_stream: int = 3,
                 parallelism: int = 4,
                 spindle_groups: int = 12) -> Figure1Result:
-    """Reproduce Figure 1: TPC-H throughput test vs. number of disks.
+    """Deprecated: reproduce Figure 1 through a serial, uncached Runner.
 
-    Data is generated once per disk count at ``physical_scale_factor``
-    and replayed as if at ``logical_scale_factor`` (the audited system
-    ran SF 300).  Hardware is the DL785 profile with RAID 5.
+    Prefer building the spec yourself — it unlocks the process pool and
+    the on-disk result cache::
+
+        from repro.runner import ExperimentSpec, Runner
+        run = Runner(workers=4).run(ExperimentSpec("fig1"))
+        result = run.aggregate()          # a Figure1Result
     """
-    reports = []
-    for n_disks in disk_counts:
-        sim = Simulation()
-        server, array = dl785(sim, n_disks=n_disks,
-                              spindle_groups=spindle_groups)
-        storage = StorageManager(sim)
-        db = generate_tpch(storage, array,
-                           scale_factor=physical_scale_factor)
-        mix = throughput_mix(db, parallelism=parallelism)
-        reports.append(run_throughput_test(
-            sim, server, mix, streams=streams,
-            queries_per_stream=queries_per_stream,
-            scale=logical_scale_factor / physical_scale_factor))
-    return Figure1Result(disk_counts=list(disk_counts), reports=reports)
+    warnings.warn("run_figure1 is deprecated; use repro.runner "
+                  "(ExperimentSpec('fig1') + Runner) instead",
+                  DeprecationWarning, stacklevel=2)
+    from repro.runner import ExperimentSpec, Runner
+    spec = ExperimentSpec("fig1", knobs={
+        "disks": list(disk_counts),
+        "physical_scale_factor": physical_scale_factor,
+        "logical_scale_factor": logical_scale_factor,
+        "streams": streams,
+        "queries_per_stream": queries_per_stream,
+        "parallelism": parallelism,
+        "spindle_groups": spindle_groups,
+    })
+    return Runner(workers=1, cache=False).run(spec).aggregate()
 
 
 @dataclass
@@ -124,15 +174,41 @@ class Figure2Result:
              self.compressed.energy_joules),
         ]
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uncompressed": self.uncompressed.to_dict(),
+            "compressed": self.compressed.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Figure2Result":
+        return cls(
+            uncompressed=ScanReport.from_dict(data["uncompressed"]),
+            compressed=ScanReport.from_dict(data["compressed"]),
+        )
+
+
+def figure2_point(compressed: bool, scale_factor: float = 0.002,
+                  dvfs_fraction: float = 1.0,
+                  seed: int = 2009) -> ScanReport:
+    """One Figure 2 configuration (a thin alias of :func:`run_scan`)."""
+    return run_scan(compressed=compressed, scale_factor=scale_factor,
+                    dvfs_fraction=dvfs_fraction, seed=seed)
+
 
 def run_figure2(scale_factor: float = 0.002,
                 seed: int = 2009) -> Figure2Result:
-    """Reproduce Figure 2: the compressed-vs-uncompressed flash scan."""
-    return Figure2Result(
-        uncompressed=run_scan_experiment(compressed=False,
-                                         scale_factor=scale_factor,
-                                         seed=seed),
-        compressed=run_scan_experiment(compressed=True,
-                                       scale_factor=scale_factor,
-                                       seed=seed),
-    )
+    """Deprecated: reproduce Figure 2 through a serial, uncached Runner.
+
+    Prefer ``Runner().run(ExperimentSpec("fig2"))`` — see
+    :func:`run_figure1` for the pattern.
+    """
+    warnings.warn("run_figure2 is deprecated; use repro.runner "
+                  "(ExperimentSpec('fig2') + Runner) instead",
+                  DeprecationWarning, stacklevel=2)
+    from repro.runner import ExperimentSpec, Runner
+    spec = ExperimentSpec("fig2",
+                          knobs={"compressed": [False, True],
+                                 "scale_factor": scale_factor},
+                          seed=seed)
+    return Runner(workers=1, cache=False).run(spec).aggregate()

@@ -39,6 +39,18 @@ class ProfilePoint:
         """Work per Joule."""
         return self.work_done / self.energy_joules
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "knob_value": self.knob_value,
+            "seconds": self.seconds,
+            "energy_joules": self.energy_joules,
+            "work_done": self.work_done,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProfilePoint":
+        return cls(**data)
+
 
 @dataclass
 class EnergyProfile:
@@ -81,6 +93,18 @@ class EnergyProfile:
         """(knob, seconds, watts, efficiency) rows for reporting."""
         return [(p.knob_value, p.seconds, p.average_power_watts,
                  p.efficiency) for p in self.points]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "knob_name": self.knob_name,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EnergyProfile":
+        return cls(knob_name=data["knob_name"],
+                   points=[ProfilePoint.from_dict(p)
+                           for p in data["points"]])
 
 
 def sweep_knob(knob_name: str, values: Sequence[Any],

@@ -1,0 +1,176 @@
+"""``python -m repro.runner`` — the single operational entry point.
+
+Subcommands::
+
+    run EXPERIMENT [--workers N] [--seed S] [--no-cache] [--json]
+                   [--<knob> value ...]      # e.g. --disks 36,66
+    list                                     # registered experiments
+    cache stats | cache clear                # inspect / wipe the store
+
+Knob flags are generic: any ``--name value`` pair after the known
+options overrides that knob, and a comma-separated value makes the
+knob a sweep axis (``--disks 36,66,108`` sweeps three points).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from repro.core.report import format_table
+from repro.errors import ReproError
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.events import EventPrinter
+from repro.runner.registry import get_experiment, list_experiments
+from repro.runner.runner import Runner
+from repro.runner.spec import ExperimentSpec
+
+
+def parse_knob_value(text: str) -> Any:
+    """``"36"`` -> 36, ``"0.5"`` -> 0.5, ``"true"`` -> True,
+    ``"null"`` -> None, ``"36,66"`` -> [36, 66], else the string."""
+    if "," in text:
+        return [parse_knob_value(part) for part in text.split(",") if part]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none"):
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def parse_knob_args(extras: Sequence[str]) -> dict[str, Any]:
+    """Turn trailing ``--name value`` pairs into a knob dict."""
+    knobs: dict[str, Any] = {}
+    i = 0
+    while i < len(extras):
+        flag = extras[i]
+        if not flag.startswith("--") or len(flag) == 2:
+            raise ReproError(f"expected a --knob flag, got {flag!r}")
+        name = flag[2:].replace("-", "_")
+        if "=" in name:
+            name, _, raw = name.partition("=")
+            i += 1
+        else:
+            if i + 1 >= len(extras):
+                raise ReproError(f"knob --{name} is missing a value")
+            raw = extras[i + 1]
+            i += 2
+        knobs[name] = parse_knob_value(raw)
+    return knobs
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Run the paper's experiments as cached, "
+                    "parallel knob sweeps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute one experiment spec")
+    run.add_argument("experiment", help="registered experiment name")
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool size (default 1 = serial)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="base seed for every point (default 2009)")
+    run.add_argument("--cache", default=None, metavar="DIR",
+                     help=f"cache directory (default {DEFAULT_CACHE_DIR}"
+                          " or $REPRO_CACHE_DIR)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute every point, touch no cache")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the full RunResult as JSON on stdout")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress on stderr")
+
+    sub.add_parser("list", help="list registered experiments")
+
+    cache = sub.add_parser("cache", help="inspect or wipe the cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache", default=None, metavar="DIR")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for defn in list_experiments():
+        sweep = [f"{k}[{len(v)}]" for k, v in sorted(defn.defaults.items())
+                 if isinstance(v, (list, tuple))]
+        rows.append((defn.name, defn.profile or "-",
+                     " ".join(sweep) or "-", defn.title))
+    print(format_table(["experiment", "profile", "default sweep",
+                        "description"], rows,
+                       title="registered experiments"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache or DEFAULT_CACHE_DIR)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root : {stats.root}")
+        print(f"entries    : {stats.entries}")
+        print(f"total bytes: {stats.total_bytes}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached point(s) from {cache.root}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
+    knobs = parse_knob_args(extras)
+    defn = get_experiment(args.experiment)
+    spec_kwargs: dict[str, Any] = {"knobs": knobs,
+                                   "profile": defn.profile}
+    if args.seed is not None:
+        spec_kwargs["seed"] = args.seed
+    spec = ExperimentSpec(args.experiment, **spec_kwargs)
+
+    if args.no_cache:
+        cache: Any = False
+    elif args.cache is not None:
+        cache = args.cache
+    else:
+        cache = True
+    on_event = None if args.quiet else EventPrinter()
+    result = Runner(workers=args.workers, cache=cache,
+                    on_event=on_event).run(spec)
+
+    if args.as_json:
+        print(result.to_json())
+        return 0
+    print(format_table(
+        ["#", "point", "sim_seconds", "joules", "source"],
+        [(i, label, round(sim, 4), round(joules, 2), source)
+         for i, label, sim, joules, source in result.rows()],
+        title=f"{defn.title} [spec {spec.spec_hash()[:12]}]"))
+    print(f"{len(result.points)} point(s), {result.cache_hits} from "
+          f"cache, {result.host_seconds:.2f}s host time")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args, extras = parser.parse_known_args(argv)
+    try:
+        if args.command == "list":
+            if extras:
+                parser.error(f"unrecognized arguments: {' '.join(extras)}")
+            return _cmd_list()
+        if args.command == "cache":
+            if extras:
+                parser.error(f"unrecognized arguments: {' '.join(extras)}")
+            return _cmd_cache(args)
+        return _cmd_run(args, extras)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The experiment registry: names the runner can execute.
+
+Each entry binds an experiment name to a *point function* (the physics
+of one sweep point), its default knob grid, and an optional aggregator
+that folds the finished points back into the figure-level result
+object the paper-facing code expects.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.runner import PointResult
+    from repro.runner.spec import ExperimentSpec
+
+
+class UnknownExperimentError(ReproError):
+    """The spec names an experiment nobody registered."""
+
+
+class UnknownKnobError(ReproError):
+    """The spec sets a knob the experiment's point function lacks."""
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One runnable experiment."""
+
+    name: str
+    title: str
+    point_fn: Callable[..., Any]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    aggregate: Optional[Callable[[Sequence["PointResult"]], Any]] = None
+    profile: str = ""
+
+    def knob_names(self) -> set[str]:
+        """Knob names the point function accepts (plus ``seed``)."""
+        params = inspect.signature(self.point_fn).parameters
+        return {p.name for p in params.values()
+                if p.kind in (p.POSITIONAL_OR_KEYWORD,
+                              p.KEYWORD_ONLY)} | {"seed"}
+
+    def validate_knobs(self, knobs: Mapping[str, Any]) -> None:
+        """Reject knobs the point function can't take, by name."""
+        params = inspect.signature(self.point_fn).parameters
+        if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+            return
+        unknown = sorted(set(knobs) - self.knob_names())
+        if unknown:
+            known = ", ".join(sorted(self.knob_names()))
+            raise UnknownKnobError(
+                f"unknown knob(s) {', '.join(map(repr, unknown))} for "
+                f"experiment {self.name!r}; valid knobs: {known}")
+
+    def call_point(self, knobs: Mapping[str, Any], seed: int) -> Any:
+        """Invoke the point function, passing ``seed`` iff it takes one."""
+        kwargs = dict(knobs)
+        params = inspect.signature(self.point_fn).parameters
+        if "seed" in params:
+            kwargs.setdefault("seed", seed)
+        else:
+            kwargs.pop("seed", None)
+        return self.point_fn(**kwargs)
+
+
+_REGISTRY: dict[str, ExperimentDef] = {}
+
+
+def register_experiment(defn: ExperimentDef) -> ExperimentDef:
+    _REGISTRY[defn.name] = defn
+    return defn
+
+
+def get_experiment(name: str) -> ExperimentDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def list_experiments() -> list[ExperimentDef]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def default_spec(name: str, **knob_overrides: Any) -> "ExperimentSpec":
+    """A spec for ``name`` with registered defaults plus overrides."""
+    from repro.runner.spec import ExperimentSpec
+    defn = get_experiment(name)
+    return ExperimentSpec(name, knobs=knob_overrides,
+                          profile=defn.profile)
+
+
+# -- built-in experiments -------------------------------------------------
+
+def _fig1_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.core.experiments import Figure1Result
+    return Figure1Result(
+        disk_counts=[p.knobs["disks"] for p in points],
+        reports=[p.report for p in points])
+
+
+def _fig2_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.core.experiments import Figure2Result
+    by_codec = {bool(p.knobs["compressed"]): p.report for p in points}
+    if set(by_codec) != {False, True}:
+        raise ReproError("fig2 needs exactly the compressed={False,True}"
+                         " sweep to aggregate")
+    return Figure2Result(uncompressed=by_codec[False],
+                         compressed=by_codec[True])
+
+
+def _register_builtin_experiments() -> None:
+    from repro.core.experiments import figure1_point, figure2_point
+    from repro.hardware.profiles import FIG1_DISK_COUNTS
+    from repro.workloads.duty_cycle import run_duty_cycle
+    from repro.workloads.scan_workload import run_scan
+
+    register_experiment(ExperimentDef(
+        name="fig1",
+        title="Figure 1: TPC-H throughput test vs. number of disks "
+              "(DL785, RAID 5)",
+        point_fn=figure1_point,
+        defaults={
+            "disks": list(FIG1_DISK_COUNTS),
+            "physical_scale_factor": 0.002,
+            "logical_scale_factor": 300.0,
+            "streams": 6,
+            "queries_per_stream": 3,
+            "parallelism": 4,
+            "spindle_groups": 12,
+        },
+        aggregate=_fig1_aggregate,
+        profile="dl785",
+    ))
+    register_experiment(ExperimentDef(
+        name="fig2",
+        title="Figure 2: uncompressed vs. compressed scan on the flash "
+              "node",
+        point_fn=figure2_point,
+        defaults={
+            "compressed": [False, True],
+            "scale_factor": 0.002,
+            "dvfs_fraction": 1.0,
+        },
+        aggregate=_fig2_aggregate,
+        profile="flash_scan_node",
+    ))
+    register_experiment(ExperimentDef(
+        name="scan",
+        title="Flash column-scan microbenchmark (free knob grid over "
+              "compression, DVFS, codec, scale)",
+        point_fn=run_scan,
+        defaults={
+            "compressed": False,
+            "scale_factor": 0.002,
+            "dvfs_fraction": 1.0,
+            "codec": None,
+        },
+        profile="flash_scan_node",
+    ))
+    register_experiment(ExperimentDef(
+        name="proportionality",
+        title="A8: duty-cycle utilization sweep, real vs. ideal "
+              "proportional machine",
+        point_fn=run_duty_cycle,
+        defaults={
+            "utilization": [0.0, 0.25, 0.5, 0.75, 1.0],
+            "kind": "real",
+            "window_seconds": 100.0,
+            "period_seconds": 1.0,
+            "peak_watts": None,
+        },
+        profile="commodity",
+    ))
+
+
+_register_builtin_experiments()

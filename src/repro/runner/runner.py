@@ -1,0 +1,272 @@
+"""The parallel experiment runner.
+
+``Runner.run(spec)`` expands the spec's knob grid, skips every point
+already present in the on-disk result cache, fans the rest out across
+a ``multiprocessing`` pool (``workers=1`` runs inline), and reassembles
+the payloads in grid order.  Because each point is simulated from
+nothing but its resolved knobs and its deterministic seed, a
+``workers=4`` run is byte-identical to a serial one — the pool only
+changes host wall-clock, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, point_key
+from repro.runner.events import (
+    EventSink,
+    PointFinished,
+    PointStarted,
+    RunFinished,
+    RunStarted,
+)
+from repro.runner.registry import get_experiment
+from repro.runner.reports import decode_report
+from repro.runner.spec import ExperimentSpec, canonical_json
+from repro.runner.worker import (
+    PointTask,
+    execute_indexed,
+    execute_point,
+    payload_matches,
+)
+
+CacheLike = Union[ResultCache, str, os.PathLike, bool, None]
+
+
+@dataclass
+class PointResult:
+    """One finished sweep point."""
+
+    index: int
+    knobs: dict[str, Any]
+    seed: int
+    report: Any
+    sim_seconds: float
+    joules: float
+    host_seconds: float = 0.0
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic content only — host timing and cache
+        provenance stay off the record so parallel, serial, and cached
+        runs serialize to the same bytes."""
+        return {
+            "index": self.index,
+            "knobs": {k: v for k, v in sorted(self.knobs.items())},
+            "seed": self.seed,
+            "report": {"type": type(self.report).__name__,
+                       "data": self.report.to_dict()},
+            "sim_seconds": self.sim_seconds,
+            "joules": self.joules,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything a finished spec produced, in grid order."""
+
+    spec: ExperimentSpec
+    points: list[PointResult] = field(default_factory=list)
+    host_seconds: float = 0.0
+
+    @property
+    def reports(self) -> list[Any]:
+        return [p.report for p in self.points]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for p in self.points if p.cache_hit)
+
+    def aggregate(self) -> Any:
+        """Fold the points into the experiment's figure-level result
+        (e.g. ``Figure1Result``), or a generic
+        :class:`~repro.core.profiler.EnergyProfile` when the experiment
+        registers no aggregator."""
+        defn = get_experiment(self.spec.experiment)
+        if defn.aggregate is not None:
+            return defn.aggregate(self.points)
+        return self.profile()
+
+    def profile(self) -> Any:
+        """The sweep as an :class:`~repro.core.profiler.EnergyProfile`
+        over the spec's (single) sweep axis."""
+        from repro.core.profiler import EnergyProfile, ProfilePoint
+        axes = list(self.spec.sweep_axes())
+        knob = axes[0] if len(axes) == 1 else None
+        profile = EnergyProfile(knob_name=knob or "point")
+        for p in self.points:
+            profile.points.append(ProfilePoint(
+                knob_value=p.knobs[knob] if knob else p.index,
+                seconds=p.sim_seconds,
+                energy_joules=p.joules))
+        return profile
+
+    def rows(self) -> list[tuple]:
+        """(index, swept knobs, sim seconds, Joules) summary rows."""
+        axes = list(self.spec.sweep_axes())
+        return [
+            (p.index,
+             " ".join(f"{k}={p.knobs[k]}" for k in axes) or "-",
+             p.sim_seconds, p.joules, "hit" if p.cache_hit else "run")
+            for p in self.points
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.canonical(),
+            "spec_hash": self.spec.spec_hash(),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        spec = ExperimentSpec.from_dict(data["spec"])
+        points = [
+            PointResult(
+                index=p["index"], knobs=dict(p["knobs"]), seed=p["seed"],
+                report=decode_report(p["report"]),
+                sim_seconds=p["sim_seconds"], joules=p["joules"])
+            for p in data["points"]
+        ]
+        return cls(spec=spec, points=points)
+
+
+def _resolve_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache(os.environ.get("REPRO_CACHE_DIR",
+                                          DEFAULT_CACHE_DIR))
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+class Runner:
+    """Executes :class:`ExperimentSpec` grids, possibly in parallel.
+
+    ``workers`` is the process-pool size (1 = inline, no pool);
+    ``cache`` is ``True`` for the default ``.repro-cache/`` store
+    (honouring ``$REPRO_CACHE_DIR``), ``False``/``None`` to disable,
+    or a path / :class:`ResultCache`; ``on_event`` receives the
+    structured progress events from :mod:`repro.runner.events`.
+    """
+
+    def __init__(self, workers: int = 1, cache: CacheLike = True,
+                 on_event: Optional[EventSink] = None):
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        self.workers = workers
+        self.cache = _resolve_cache(cache)
+        self.on_event = on_event
+
+    # -- internals ---------------------------------------------------
+
+    def _emit(self, event: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _tasks(self, spec: ExperimentSpec
+               ) -> list[tuple[PointTask, str]]:
+        tasks = []
+        for point in spec.points():
+            task: PointTask = (spec.experiment, point,
+                               spec.point_seed(point))
+            tasks.append((task, point_key(*task)))
+        return tasks
+
+    def _finish(self, spec: ExperimentSpec, index: int, total: int,
+                payload: Mapping[str, Any], cache_hit: bool,
+                host_seconds: float) -> PointResult:
+        result = PointResult(
+            index=index, knobs=dict(payload["knobs"]),
+            seed=payload["seed"],
+            report=decode_report(payload["report"]),
+            sim_seconds=payload["sim_seconds"],
+            joules=payload["joules"],
+            host_seconds=host_seconds, cache_hit=cache_hit)
+        self._emit(PointFinished(
+            index=index, total_points=total, knobs=result.knobs,
+            sim_seconds=result.sim_seconds, joules=result.joules,
+            host_seconds=host_seconds, cache_hit=cache_hit))
+        return result
+
+    # -- the entry point ---------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        # fail fast on unknown names, before any point runs
+        get_experiment(spec.experiment).validate_knobs(spec.knobs)
+        started = time.perf_counter()
+        tasks = self._tasks(spec)
+        total = len(tasks)
+        self._emit(RunStarted(experiment=spec.experiment,
+                              spec_hash=spec.spec_hash(),
+                              total_points=total, workers=self.workers))
+
+        results: dict[int, PointResult] = {}
+        pending: list[tuple[int, PointTask, str]] = []
+        for index, (task, key) in enumerate(tasks):
+            payload = self.cache.get(key) if self.cache else None
+            if payload is not None and payload_matches(payload, task):
+                results[index] = self._finish(
+                    spec, index, total, payload, cache_hit=True,
+                    host_seconds=0.0)
+            else:
+                pending.append((index, task, key))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_pool(spec, pending, total, results)
+            else:
+                self._run_serial(spec, pending, total, results)
+
+        run = RunResult(
+            spec=spec,
+            points=[results[i] for i in range(total)],
+            host_seconds=time.perf_counter() - started)
+        self._emit(RunFinished(experiment=spec.experiment,
+                               total_points=total,
+                               cache_hits=run.cache_hits,
+                               host_seconds=run.host_seconds))
+        return run
+
+    def _run_serial(self, spec: ExperimentSpec,
+                    pending: Sequence[tuple[int, PointTask, str]],
+                    total: int, results: dict[int, PointResult]) -> None:
+        for index, task, key in pending:
+            self._emit(PointStarted(index=index, total_points=total,
+                                    knobs=task[1]))
+            payload = execute_point(task)
+            if self.cache:
+                self.cache.put(key, payload)
+            results[index] = self._finish(
+                spec, index, total, payload, cache_hit=False,
+                host_seconds=payload["host_seconds"])
+
+    def _run_pool(self, spec: ExperimentSpec,
+                  pending: Sequence[tuple[int, PointTask, str]],
+                  total: int, results: dict[int, PointResult]) -> None:
+        keys = {index: key for index, _, key in pending}
+        items = [(index, task) for index, task, _ in pending]
+        workers = min(self.workers, len(items))
+        for index, task, _ in pending:
+            self._emit(PointStarted(index=index, total_points=total,
+                                    knobs=task[1]))
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=workers) as pool:
+            for index, payload in pool.imap_unordered(execute_indexed,
+                                                      items):
+                if self.cache:
+                    self.cache.put(keys[index], payload)
+                results[index] = self._finish(
+                    spec, index, total, payload, cache_hit=False,
+                    host_seconds=payload["host_seconds"])

@@ -1,0 +1,55 @@
+"""The process-pool work item: simulate one sweep point.
+
+Everything crossing the process boundary is a plain JSON-safe dict —
+the same payload shape the cache stores — so fork and spawn start
+methods both work and parallel runs are bit-identical to serial ones
+(the payload is computed in the worker from the same knobs + seed,
+never re-derived in the parent).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.runner.registry import get_experiment
+from repro.runner.reports import encode_report, report_metrics
+
+#: (experiment name, resolved point knobs, point seed)
+PointTask = tuple[str, dict[str, Any], int]
+
+
+def execute_point(task: PointTask) -> dict[str, Any]:
+    """Run one point and return its cacheable payload."""
+    experiment, knobs, seed = task
+    defn = get_experiment(experiment)
+    started = time.perf_counter()
+    report = defn.call_point(knobs, seed)
+    host_seconds = time.perf_counter() - started
+    sim_seconds, joules = report_metrics(report)
+    return {
+        "experiment": experiment,
+        "knobs": dict(knobs),
+        "seed": seed,
+        "report": encode_report(report),
+        "sim_seconds": sim_seconds,
+        "joules": joules,
+        "host_seconds": host_seconds,
+    }
+
+
+def execute_indexed(item: tuple[int, PointTask]
+                    ) -> tuple[int, dict[str, Any]]:
+    """Pool adapter: keep the point's grid index with its payload so
+    out-of-order completion can be reassembled deterministically."""
+    index, task = item
+    return index, execute_point(task)
+
+
+def payload_matches(payload: Mapping[str, Any], task: PointTask) -> bool:
+    """Paranoia check for cache payloads: same point, same seed."""
+    experiment, knobs, seed = task
+    return (payload.get("experiment") == experiment
+            and payload.get("seed") == seed
+            and payload.get("knobs") == knobs
+            and "report" in payload)

@@ -16,12 +16,22 @@ from repro.workloads.tpch_queries import (
     q10_spec,
     throughput_mix,
 )
-from repro.workloads.throughput import ThroughputReport, run_throughput_test
-from repro.workloads.scan_workload import ScanReport, run_scan_experiment
+from repro.workloads.throughput import (
+    ThroughputReport,
+    run_throughput,
+    run_throughput_test,
+)
+from repro.workloads.scan_workload import (
+    ScanReport,
+    run_scan,
+    run_scan_experiment,
+)
+from repro.workloads.duty_cycle import DutyCycleReport, run_duty_cycle
 from repro.workloads.oltp import OltpReport, run_oltp_stream
 
 __all__ = [
     "ORDERS_SCAN_COLUMNS",
+    "DutyCycleReport",
     "OltpReport",
     "ScanReport",
     "ThroughputReport",
@@ -33,8 +43,11 @@ __all__ = [
     "q6",
     "q10_spec",
     "q14",
+    "run_duty_cycle",
     "run_oltp_stream",
+    "run_scan",
     "run_scan_experiment",
+    "run_throughput",
     "run_throughput_test",
     "throughput_mix",
     "tpch_schemas",

@@ -11,8 +11,9 @@ not consume any power").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
 
 from repro.errors import WorkloadError
 from repro.hardware.profiles import flash_scan_node
@@ -67,14 +68,21 @@ class ScanReport:
             return 0.0
         return 1.0 / self.energy_joules
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
 
-def run_scan_experiment(compressed: bool,
-                        scale_factor: float = 0.002,
-                        target_plain_bytes: float = PAPER_SCAN_BYTES,
-                        codec: Optional[str] = None,
-                        params: Optional[CostParameters] = None,
-                        dvfs_fraction: float = 1.0,
-                        seed: int = 2009) -> ScanReport:
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScanReport":
+        return cls(**data)
+
+
+def run_scan(compressed: bool = False,
+             scale_factor: float = 0.002,
+             target_plain_bytes: float = PAPER_SCAN_BYTES,
+             codec: Optional[str] = None,
+             params: Optional[CostParameters] = None,
+             dvfs_fraction: float = 1.0,
+             seed: int = 2009) -> ScanReport:
     """Run one Figure 2 configuration and return its measurements.
 
     Real ORDERS data is generated at ``scale_factor`` and scanned for
@@ -117,3 +125,17 @@ def run_scan_experiment(compressed: bool,
         bytes_read=stored * scale,
         compression_ratio=stored / plain,
     )
+
+
+def run_scan_experiment(*args: Any, **kwargs: Any) -> ScanReport:
+    """Deprecated alias of :func:`run_scan`.
+
+    Kept so pre-``repro.runner`` call sites keep working; new code
+    should sweep the ``scan`` experiment through
+    :class:`~repro.runner.Runner` (which adds process-pool parallelism
+    and result caching) or call :func:`run_scan` directly.
+    """
+    warnings.warn("run_scan_experiment is deprecated; use repro.runner "
+                  "(ExperimentSpec/Runner) or run_scan instead",
+                  DeprecationWarning, stacklevel=2)
+    return run_scan(*args, **kwargs)

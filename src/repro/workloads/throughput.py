@@ -7,8 +7,9 @@ the paper plots (work done per Joule).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.relational.executor import ExecutionContext, Executor
@@ -60,15 +61,29 @@ class ThroughputReport:
             return 0.0
         return self.queries_completed / self.energy_joules
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "streams": self.streams,
+            "queries_completed": self.queries_completed,
+            "makespan_seconds": self.makespan_seconds,
+            "energy_joules": self.energy_joules,
+            "breakdown_joules": dict(self.breakdown_joules),
+            "query_seconds": list(self.query_seconds),
+        }
 
-def run_throughput_test(sim: "Simulation", server: "Server",
-                        mix: Sequence[PlanBuilder],
-                        streams: int = 4,
-                        queries_per_stream: int = 4,
-                        scale: float = 1.0,
-                        chunk_bytes: float = 56 * MB,
-                        params: Optional[CostParameters] = None
-                        ) -> ThroughputReport:
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ThroughputReport":
+        return cls(**data)
+
+
+def run_throughput(sim: "Simulation", server: "Server",
+                   mix: Sequence[PlanBuilder],
+                   streams: int = 4,
+                   queries_per_stream: int = 4,
+                   scale: float = 1.0,
+                   chunk_bytes: float = 56 * MB,
+                   params: Optional[CostParameters] = None
+                   ) -> ThroughputReport:
     """Run the throughput test to completion and meter it.
 
     Each stream cycles through ``mix`` starting at its own offset (the
@@ -106,3 +121,16 @@ def run_throughput_test(sim: "Simulation", server: "Server",
         breakdown_joules=server.meter.breakdown_joules(start, end),
         query_seconds=query_seconds,
     )
+
+
+def run_throughput_test(*args: Any, **kwargs: Any) -> ThroughputReport:
+    """Deprecated alias of :func:`run_throughput`.
+
+    Kept so pre-``repro.runner`` call sites keep working; new code
+    should build an :class:`~repro.runner.ExperimentSpec` (or call
+    :func:`run_throughput` directly when driving its own simulation).
+    """
+    warnings.warn("run_throughput_test is deprecated; use repro.runner "
+                  "(ExperimentSpec/Runner) or run_throughput instead",
+                  DeprecationWarning, stacklevel=2)
+    return run_throughput(*args, **kwargs)
