@@ -1,0 +1,59 @@
+"""Telemetry overhead guard.
+
+Tracing is a runtime opt-in, so the capture machinery must cost almost
+nothing: spans snapshot busy-seconds at their endpoints and every hook
+on the hot path (meter construction, buffer get/put, WAL flush,
+prefetch burst) is a single module-global read when telemetry is off.
+This guard simulates the same tiny Figure 1 point with capture off and
+on and asserts the traced run stays within 5% of the untraced one
+(min-of-N wall times, interleaved to decorrelate host noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runner import get_experiment
+from repro.telemetry import capture
+
+#: the tiny Figure 1 settings the integration tests already use
+TINY_FIG1 = {
+    "disks": 24,
+    "streams": 2,
+    "queries_per_stream": 1,
+    "physical_scale_factor": 0.0005,
+    "logical_scale_factor": 1.0,
+    "spindle_groups": 6,
+}
+
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+
+
+def _simulate_point() -> None:
+    get_experiment("fig1").call_point(TINY_FIG1, seed=2009)
+
+
+def _traced_point() -> None:
+    with capture() as collector:
+        _simulate_point()
+    collector.finalize()
+
+
+def test_telemetry_overhead_under_five_percent():
+    _simulate_point()  # warm imports and caches outside the clock
+    off_times, on_times = [], []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        _simulate_point()
+        off_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        _traced_point()
+        on_times.append(time.perf_counter() - started)
+    off, on = min(off_times), min(on_times)
+    overhead = on / off - 1.0
+    print(f"\ntelemetry overhead: off={off:.4f}s on={on:.4f}s "
+          f"({overhead:+.2%})")
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry capture costs {overhead:.2%} (> {MAX_OVERHEAD:.0%}): "
+        f"untraced {off:.4f}s vs traced {on:.4f}s")

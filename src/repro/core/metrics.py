@@ -15,7 +15,15 @@ from repro.units import KWH
 
 
 def energy_efficiency(work_done: float, energy_joules: float) -> float:
-    """Work per Joule (§2.1): transactions/J, searches/J, queries/J..."""
+    """Work per Joule (§2.1): transactions/J, searches/J, queries/J...
+
+    >>> energy_efficiency(1000.0, 500.0)   # 1000 queries on 500 J
+    2.0
+    >>> energy_efficiency(10.0, 0.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ReproError: energy must be positive
+    """
     if energy_joules <= 0:
         raise ReproError("energy must be positive")
     if work_done < 0:
@@ -24,7 +32,16 @@ def energy_efficiency(work_done: float, energy_joules: float) -> float:
 
 
 def perf_per_watt(work_rate_per_s: float, power_watts: float) -> float:
-    """Performance over power — identical to energy efficiency (§2.1)."""
+    """Performance over power — identical to energy efficiency (§2.1).
+
+    The two formulations coincide because both numerator and
+    denominator are rates over the same interval:
+
+    >>> perf_per_watt(300.0, 150.0)
+    2.0
+    >>> perf_per_watt(300.0, 150.0) == energy_efficiency(300.0, 150.0)
+    True
+    """
     if power_watts <= 0:
         raise ReproError("power must be positive")
     if work_rate_per_s < 0:
@@ -33,7 +50,16 @@ def perf_per_watt(work_rate_per_s: float, power_watts: float) -> float:
 
 
 def energy_delay_product(energy_joules: float, seconds: float) -> float:
-    """EDP: the classic single-number compromise between E and T."""
+    """EDP: the classic single-number compromise between E and T.
+
+    Lower is better; halving time at constant energy helps exactly as
+    much as halving energy at constant time:
+
+    >>> energy_delay_product(100.0, 2.0)
+    200.0
+    >>> energy_delay_product(50.0, 4.0)
+    200.0
+    """
     if energy_joules < 0 or seconds < 0:
         raise ReproError("energy and time must be non-negative")
     return energy_joules * seconds
@@ -45,6 +71,16 @@ class TcoModel:
 
     ``cooling_overhead`` burdens every IT Watt with facility Watts
     ([PBS+03]'s 0.5-1 W per W).
+
+    A 1 kW server at $0.10/kWh with 0.5 W/W cooling for three years:
+
+    >>> model = TcoModel(hardware_cost_dollars=10_000.0)
+    >>> round(model.energy_cost(1000.0), 2)
+    3944.7
+    >>> round(model.total_cost(1000.0), 2)
+    13944.7
+    >>> round(model.energy_cost_fraction(1000.0), 3)
+    0.283
     """
 
     hardware_cost_dollars: float

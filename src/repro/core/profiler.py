@@ -18,7 +18,17 @@ from repro.errors import ReproError
 
 @dataclass(frozen=True)
 class ProfilePoint:
-    """One evaluated knob setting."""
+    """One evaluated knob setting.
+
+    >>> p = ProfilePoint(knob_value=12, seconds=2.0,
+    ...                  energy_joules=100.0, work_done=10.0)
+    >>> p.performance        # work per second
+    5.0
+    >>> p.average_power_watts
+    50.0
+    >>> p.efficiency         # work per Joule
+    0.1
+    """
 
     knob_value: Any
     seconds: float
@@ -54,7 +64,23 @@ class ProfilePoint:
 
 @dataclass
 class EnergyProfile:
-    """A full sweep plus its derived summary."""
+    """A full sweep plus its derived summary.
+
+    Two disk counts, where the smaller one is slower but thriftier —
+    the Figure 1 situation in miniature:
+
+    >>> profile = EnergyProfile(knob_name="disks", points=[
+    ...     ProfilePoint(12, seconds=2.0, energy_joules=150.0),
+    ...     ProfilePoint(24, seconds=1.0, energy_joules=200.0),
+    ... ])
+    >>> profile.best_performance().knob_value
+    24
+    >>> profile.best_efficiency().knob_value
+    12
+    >>> gain, drop = profile.tradeoff()
+    >>> round(gain, 3), round(drop, 3)   # +33% efficiency, -50% speed
+    (0.333, 0.5)
+    """
 
     knob_name: str
     points: list[ProfilePoint] = field(default_factory=list)
@@ -110,7 +136,16 @@ class EnergyProfile:
 def sweep_knob(knob_name: str, values: Sequence[Any],
                evaluate: Callable[[Any], tuple[float, float]],
                work_done: float = 1.0) -> EnergyProfile:
-    """Evaluate ``(seconds, joules) = evaluate(value)`` for each value."""
+    """Evaluate ``(seconds, joules) = evaluate(value)`` for each value.
+
+    >>> profile = sweep_knob("disks", [1, 2],
+    ...                      lambda v: (10.0 / v, 50.0 + 50.0 * v))
+    >>> [(p.knob_value, p.seconds, p.energy_joules)
+    ...  for p in profile.points]
+    [(1, 10.0, 100.0), (2, 5.0, 150.0)]
+    >>> profile.best_efficiency().knob_value
+    1
+    """
     if not values:
         raise ReproError("no knob values to sweep")
     profile = EnergyProfile(knob_name=knob_name)

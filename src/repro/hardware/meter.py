@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import HardwareError
 from repro.hardware.device import Device
+from repro.telemetry.context import current_collector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.psu import BurdenModel
@@ -29,6 +30,11 @@ class EnergyMeter:
         self.burden = burden
         self._devices: dict[str, Device] = {}
         self._marks: dict[str, float] = {}
+        collector = current_collector()
+        if collector is not None:
+            # telemetry capture is on: let the collector discover this
+            # run's devices without the experiment passing anything
+            collector.register_meter(self)
 
     # -- device registry ---------------------------------------------------
     def attach(self, device: Device) -> Device:

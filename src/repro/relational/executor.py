@@ -29,6 +29,7 @@ from repro.relational.operators.base import (
 )
 from repro.sim.events import Event
 from repro.sim.resources import Resource
+from repro.telemetry.context import current_collector
 from repro.units import MIB
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -114,11 +115,13 @@ class Executor:
         collector = CostCollector(params=self.ctx.params,
                                   scale=self.ctx.scale)
         rows = root.execute(collector)
+        # name the final (unlabeled) pipeline after the plan root, so
+        # telemetry spans read "tablescan" instead of "pipeline0"
+        collector.break_pipeline(label=root.name.lower())
         meter = self.ctx.server.meter
         started_at = self.ctx.sim.now
         busy_before = self._busy_snapshot()
-        for pipeline in collector.pipelines:
-            yield from self._replay_pipeline(pipeline)
+        yield from self._replay_all(collector.pipelines, root)
         finished_at = self.ctx.sim.now
         busy_after = self._busy_snapshot()
         active = self._active_energy(busy_before, busy_after)
@@ -137,6 +140,28 @@ class Executor:
             cpu_busy_seconds=cpu_delta,
             io_busy_seconds=io_delta,
         )
+
+    def _replay_all(self, pipelines: list[PipelineCost],
+                    root: Operator) -> Generator:
+        """Replay every pipeline, under telemetry spans when captured.
+
+        Spans carry explicit parents: concurrent query processes
+        interleave on the event queue, so the open-span *stack* cannot
+        be trusted to reflect this query's structure — the parent link
+        can.
+        """
+        telemetry = current_collector()
+        if telemetry is None:
+            for pipeline in pipelines:
+                yield from self._replay_pipeline(pipeline)
+            return
+        sim = self.ctx.sim
+        with telemetry.span(sim, f"query:{root.name.lower()}",
+                            root=True) as query:
+            for pipeline in pipelines:
+                name = pipeline.label or f"pipeline{pipeline.index}"
+                with telemetry.span(sim, name, parent=query):
+                    yield from self._replay_pipeline(pipeline)
 
     # -- busy accounting ----------------------------------------------------
     def _busy_snapshot(self) -> dict[str, float]:

@@ -12,8 +12,8 @@ One surface replaces the repo's historical per-figure entry points:
 * the registry (:func:`register_experiment`, :func:`get_experiment`,
   :func:`list_experiments`, :func:`default_spec`) for adding new
   experiments;
-* ``python -m repro.runner`` — the operational CLI (``run``, ``list``,
-  ``cache stats``, ``cache clear``).
+* ``python -m repro.runner`` — the operational CLI (``run``, ``trace``,
+  ``list``, ``cache stats``, ``cache clear``).
 """
 
 from repro.runner.cache import (
@@ -26,6 +26,7 @@ from repro.runner.events import (
     EventPrinter,
     PointFinished,
     PointStarted,
+    PointTraced,
     RunFinished,
     RunStarted,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "PointFinished",
     "PointResult",
     "PointStarted",
+    "PointTraced",
     "Report",
     "ResultCache",
     "RunFinished",

@@ -31,14 +31,22 @@ def _package_version() -> str:
 
 
 def point_key(experiment: str, knobs: Mapping[str, Any], seed: int,
-              version: str | None = None) -> str:
-    """The cache identity of one sweep point."""
-    return stable_hash({
+              version: str | None = None, trace: bool = False) -> str:
+    """The cache identity of one sweep point.
+
+    Traced points live under distinct keys (their payloads carry the
+    telemetry trace); ``trace=False`` keys are unchanged from before
+    telemetry existed, so existing caches stay valid.
+    """
+    identity: dict[str, Any] = {
         "version": version if version is not None else _package_version(),
         "experiment": experiment,
         "knobs": {name: value for name, value in sorted(knobs.items())},
         "seed": seed,
-    })
+    }
+    if trace:
+        identity["trace"] = True
+    return stable_hash(identity)
 
 
 @dataclass(frozen=True)

@@ -3,9 +3,16 @@
 Subcommands::
 
     run EXPERIMENT [--workers N] [--seed S] [--no-cache] [--json]
-                   [--<knob> value ...]      # e.g. --disks 36,66
+                   [--trace] [--<knob> value ...]   # e.g. --disks 36,66
+    trace EXPERIMENT [--json | --csv] [--active] [--width N]
+                   [--<knob> value ...]      # energy-attribution report
     list                                     # registered experiments
     cache stats | cache clear                # inspect / wipe the store
+
+``trace`` runs the experiment with telemetry capture on (reports are
+identical to ``run``; traced points cache separately) and prints, per
+point, the span-tree energy flamegraph, the per-device breakdown, and
+any counters — or the whole thing as JSON / tidy CSV.
 
 Knob flags are generic: any ``--name value`` pair after the known
 options overrides that knob, and a comma-separated value makes the
@@ -16,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Optional, Sequence
 
@@ -72,21 +80,38 @@ def _build_parser() -> argparse.ArgumentParser:
                     "parallel knob sweeps.")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_exec_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("experiment", help="registered experiment name")
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="process-pool size (default 1 = serial)")
+        cmd.add_argument("--seed", type=int, default=None,
+                         help="base seed for every point (default 2009)")
+        cmd.add_argument("--cache", default=None, metavar="DIR",
+                         help="cache directory (default "
+                              f"{DEFAULT_CACHE_DIR} or $REPRO_CACHE_DIR)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="recompute every point, touch no cache")
+        cmd.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the full RunResult as JSON on stdout")
+        cmd.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress on stderr")
+
     run = sub.add_parser("run", help="execute one experiment spec")
-    run.add_argument("experiment", help="registered experiment name")
-    run.add_argument("--workers", type=int, default=1,
-                     help="process-pool size (default 1 = serial)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="base seed for every point (default 2009)")
-    run.add_argument("--cache", default=None, metavar="DIR",
-                     help=f"cache directory (default {DEFAULT_CACHE_DIR}"
-                          " or $REPRO_CACHE_DIR)")
-    run.add_argument("--no-cache", action="store_true",
-                     help="recompute every point, touch no cache")
-    run.add_argument("--json", action="store_true", dest="as_json",
-                     help="print the full RunResult as JSON on stdout")
-    run.add_argument("--quiet", action="store_true",
-                     help="suppress per-point progress on stderr")
+    add_exec_options(run)
+    run.add_argument("--trace", action="store_true",
+                     help="capture telemetry (traces ride the JSON "
+                          "output and the cache)")
+
+    trace = sub.add_parser(
+        "trace", help="run with telemetry and print the energy report")
+    add_exec_options(trace)
+    trace.add_argument("--csv", action="store_true", dest="as_csv",
+                       help="print every point's trace as one tidy CSV")
+    trace.add_argument("--active", action="store_true",
+                       help="flamegraph busy-time energy instead of "
+                            "metered energy")
+    trace.add_argument("--width", type=int, default=60,
+                       help="flamegraph bar width (default 60)")
 
     sub.add_parser("list", help="list registered experiments")
 
@@ -122,7 +147,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
+def _spec_and_cache(args: argparse.Namespace, extras: Sequence[str]
+                    ) -> tuple[ExperimentSpec, Any]:
     knobs = parse_knob_args(extras)
     defn = get_experiment(args.experiment)
     spec_kwargs: dict[str, Any] = {"knobs": knobs,
@@ -130,16 +156,21 @@ def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
     if args.seed is not None:
         spec_kwargs["seed"] = args.seed
     spec = ExperimentSpec(args.experiment, **spec_kwargs)
-
     if args.no_cache:
         cache: Any = False
     elif args.cache is not None:
         cache = args.cache
     else:
         cache = True
+    return spec, cache
+
+
+def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
+    spec, cache = _spec_and_cache(args, extras)
+    defn = get_experiment(args.experiment)
     on_event = None if args.quiet else EventPrinter()
     result = Runner(workers=args.workers, cache=cache,
-                    on_event=on_event).run(spec)
+                    on_event=on_event, trace=args.trace).run(spec)
 
     if args.as_json:
         print(result.to_json())
@@ -151,6 +182,51 @@ def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
         title=f"{defn.title} [spec {spec.spec_hash()[:12]}]"))
     print(f"{len(result.points)} point(s), {result.cache_hits} from "
           f"cache, {result.host_seconds:.2f}s host time")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, extras: Sequence[str]) -> int:
+    from repro.telemetry import (
+        TelemetrySink,
+        counter_rows,
+        device_rows,
+        render_flamegraph,
+        trace_to_csv,
+    )
+
+    spec, cache = _spec_and_cache(args, extras)
+    defn = get_experiment(args.experiment)
+    sink = TelemetrySink(forward=None if args.quiet else EventPrinter())
+    result = Runner(workers=args.workers, cache=cache,
+                    on_event=sink, trace=True).run(spec)
+
+    if args.as_json:
+        print(result.to_json())
+        return 0
+    if args.as_csv:
+        multi = len(sink.traces) > 1
+        for n, index in enumerate(sorted(sink.traces)):
+            text = trace_to_csv(sink.traces[index],
+                                point=index if multi else None)
+            # one header for the whole concatenation
+            print(text.split("\n", 1)[1] if n else text, end="")
+        return 0
+
+    axes = list(spec.sweep_axes())
+    for index in sorted(sink.traces):
+        trace = sink.traces[index]
+        knobs = sink.knobs[index]
+        label = " ".join(f"{k}={knobs[k]}" for k in axes) or "defaults"
+        print(f"\n== {defn.name} point {index}: {label} ==")
+        print(render_flamegraph(trace, width=args.width,
+                                active=args.active))
+        print()
+        print(format_table(
+            ["device", "metered_J", "busy_time_J", "busy_s", "share"],
+            device_rows(trace)))
+        counters = counter_rows(trace)
+        if counters:
+            print(format_table(["counter", "value"], counters))
     return 0
 
 
@@ -166,10 +242,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if extras:
                 parser.error(f"unrecognized arguments: {' '.join(extras)}")
             return _cmd_cache(args)
+        if args.command == "trace":
+            return _cmd_trace(args, extras)
         return _cmd_run(args, extras)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe early (e.g. ``... | head``); park
+        # stdout on devnull so the interpreter's shutdown flush doesn't
+        # raise again, and exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -39,6 +39,19 @@ class PointFinished:
 
 
 @dataclass(frozen=True)
+class PointTraced:
+    """Follows ``PointFinished`` for every traced point (cache hits
+    included); ``trace`` is the decoded
+    :class:`~repro.telemetry.trace.TelemetryTrace`."""
+
+    index: int
+    total_points: int
+    knobs: Mapping[str, Any]
+    trace: Any
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
 class RunFinished:
     experiment: str
     total_points: int
@@ -80,6 +93,13 @@ class EventPrinter:
                   f"  sim={event.sim_seconds:.3g}s"
                   f"  E={event.joules:.4g}J"
                   f"  host={event.host_seconds:.2f}s", file=out)
+        elif isinstance(event, PointTraced):
+            if self.verbose:
+                totals = event.trace.device_totals()
+                brief = " ".join(f"{k}={v:.4g}J"
+                                 for k, v in sorted(totals.items()))
+                print(f"  [{event.index + 1}/{event.total_points}] trace"
+                      f"  {brief}", file=out)
         elif isinstance(event, RunFinished):
             print(f"run {event.experiment}: {event.total_points} point(s)"
                   f" in {event.host_seconds:.2f}s host time"

@@ -23,6 +23,7 @@ from repro.runner.events import (
     EventSink,
     PointFinished,
     PointStarted,
+    PointTraced,
     RunFinished,
     RunStarted,
 )
@@ -35,6 +36,7 @@ from repro.runner.worker import (
     execute_point,
     payload_matches,
 )
+from repro.telemetry.trace import TelemetryTrace
 
 CacheLike = Union[ResultCache, str, os.PathLike, bool, None]
 
@@ -51,12 +53,14 @@ class PointResult:
     joules: float
     host_seconds: float = 0.0
     cache_hit: bool = False
+    telemetry: Optional[TelemetryTrace] = None
 
     def to_dict(self) -> dict[str, Any]:
         """Deterministic content only — host timing and cache
         provenance stay off the record so parallel, serial, and cached
-        runs serialize to the same bytes."""
-        return {
+        runs serialize to the same bytes.  Telemetry traces are
+        sim-time-deterministic, so traced points carry theirs."""
+        out = {
             "index": self.index,
             "knobs": {k: v for k, v in sorted(self.knobs.items())},
             "seed": self.seed,
@@ -65,6 +69,9 @@ class PointResult:
             "sim_seconds": self.sim_seconds,
             "joules": self.joules,
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.to_dict()
+        return out
 
 
 @dataclass
@@ -134,7 +141,9 @@ class RunResult:
             PointResult(
                 index=p["index"], knobs=dict(p["knobs"]), seed=p["seed"],
                 report=decode_report(p["report"]),
-                sim_seconds=p["sim_seconds"], joules=p["joules"])
+                sim_seconds=p["sim_seconds"], joules=p["joules"],
+                telemetry=(TelemetryTrace.from_dict(p["telemetry"])
+                           if "telemetry" in p else None))
             for p in data["points"]
         ]
         return cls(spec=spec, points=points)
@@ -158,16 +167,23 @@ class Runner:
     ``cache`` is ``True`` for the default ``.repro-cache/`` store
     (honouring ``$REPRO_CACHE_DIR``), ``False``/``None`` to disable,
     or a path / :class:`ResultCache`; ``on_event`` receives the
-    structured progress events from :mod:`repro.runner.events`.
+    structured progress events from :mod:`repro.runner.events`;
+    ``trace=True`` runs every point under a telemetry capture —
+    results gain ``PointResult.telemetry`` and each point emits a
+    :class:`~repro.runner.events.PointTraced` event.  Tracing is a
+    runtime option, not part of the spec: traced and untraced runs of
+    the same spec produce identical reports (and cache separately).
     """
 
     def __init__(self, workers: int = 1, cache: CacheLike = True,
-                 on_event: Optional[EventSink] = None):
+                 on_event: Optional[EventSink] = None,
+                 trace: bool = False):
         if workers < 1:
             raise ReproError("workers must be >= 1")
         self.workers = workers
         self.cache = _resolve_cache(cache)
         self.on_event = on_event
+        self.trace = trace
 
     # -- internals ---------------------------------------------------
 
@@ -181,23 +197,31 @@ class Runner:
         for point in spec.points():
             task: PointTask = (spec.experiment, point,
                                spec.point_seed(point))
-            tasks.append((task, point_key(*task)))
+            tasks.append((task, point_key(*task, trace=self.trace)))
         return tasks
 
     def _finish(self, spec: ExperimentSpec, index: int, total: int,
                 payload: Mapping[str, Any], cache_hit: bool,
                 host_seconds: float) -> PointResult:
+        raw_trace = payload.get("telemetry")
+        telemetry = (TelemetryTrace.from_dict(raw_trace)
+                     if raw_trace is not None else None)
         result = PointResult(
             index=index, knobs=dict(payload["knobs"]),
             seed=payload["seed"],
             report=decode_report(payload["report"]),
             sim_seconds=payload["sim_seconds"],
             joules=payload["joules"],
-            host_seconds=host_seconds, cache_hit=cache_hit)
+            host_seconds=host_seconds, cache_hit=cache_hit,
+            telemetry=telemetry)
         self._emit(PointFinished(
             index=index, total_points=total, knobs=result.knobs,
             sim_seconds=result.sim_seconds, joules=result.joules,
             host_seconds=host_seconds, cache_hit=cache_hit))
+        if telemetry is not None:
+            self._emit(PointTraced(
+                index=index, total_points=total, knobs=result.knobs,
+                trace=telemetry, cache_hit=cache_hit))
         return result
 
     # -- the entry point ---------------------------------------------
@@ -216,7 +240,8 @@ class Runner:
         pending: list[tuple[int, PointTask, str]] = []
         for index, (task, key) in enumerate(tasks):
             payload = self.cache.get(key) if self.cache else None
-            if payload is not None and payload_matches(payload, task):
+            if payload is not None and payload_matches(payload, task,
+                                                       trace=self.trace):
                 results[index] = self._finish(
                     spec, index, total, payload, cache_hit=True,
                     host_seconds=0.0)
@@ -245,7 +270,7 @@ class Runner:
         for index, task, key in pending:
             self._emit(PointStarted(index=index, total_points=total,
                                     knobs=task[1]))
-            payload = execute_point(task)
+            payload = execute_point(task, trace=self.trace)
             if self.cache:
                 self.cache.put(key, payload)
             results[index] = self._finish(
@@ -256,7 +281,7 @@ class Runner:
                   pending: Sequence[tuple[int, PointTask, str]],
                   total: int, results: dict[int, PointResult]) -> None:
         keys = {index: key for index, _, key in pending}
-        items = [(index, task) for index, task, _ in pending]
+        items = [(index, task, self.trace) for index, task, _ in pending]
         workers = min(self.workers, len(items))
         for index, task, _ in pending:
             self._emit(PointStarted(index=index, total_points=total,

@@ -19,15 +19,30 @@ from repro.runner.reports import encode_report, report_metrics
 PointTask = tuple[str, dict[str, Any], int]
 
 
-def execute_point(task: PointTask) -> dict[str, Any]:
-    """Run one point and return its cacheable payload."""
+def execute_point(task: PointTask, trace: bool = False) -> dict[str, Any]:
+    """Run one point and return its cacheable payload.
+
+    With ``trace=True`` the point simulates under a telemetry capture
+    and the payload carries the serialized
+    :class:`~repro.telemetry.trace.TelemetryTrace` under
+    ``"telemetry"`` — a JSON-safe dict, so traces ride the process
+    pool and the result cache like any other payload field.
+    """
     experiment, knobs, seed = task
     defn = get_experiment(experiment)
     started = time.perf_counter()
-    report = defn.call_point(knobs, seed)
+    telemetry = None
+    if trace:
+        # imported lazily: untraced workers never touch telemetry
+        from repro.telemetry import capture
+        with capture() as collector:
+            report = defn.call_point(knobs, seed)
+        telemetry = collector.finalize().to_dict()
+    else:
+        report = defn.call_point(knobs, seed)
     host_seconds = time.perf_counter() - started
     sim_seconds, joules = report_metrics(report)
-    return {
+    payload = {
         "experiment": experiment,
         "knobs": dict(knobs),
         "seed": seed,
@@ -36,20 +51,26 @@ def execute_point(task: PointTask) -> dict[str, Any]:
         "joules": joules,
         "host_seconds": host_seconds,
     }
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
+    return payload
 
 
-def execute_indexed(item: tuple[int, PointTask]
+def execute_indexed(item: tuple[int, PointTask, bool]
                     ) -> tuple[int, dict[str, Any]]:
     """Pool adapter: keep the point's grid index with its payload so
     out-of-order completion can be reassembled deterministically."""
-    index, task = item
-    return index, execute_point(task)
+    index, task, trace = item
+    return index, execute_point(task, trace=trace)
 
 
-def payload_matches(payload: Mapping[str, Any], task: PointTask) -> bool:
-    """Paranoia check for cache payloads: same point, same seed."""
+def payload_matches(payload: Mapping[str, Any], task: PointTask,
+                    trace: bool = False) -> bool:
+    """Paranoia check for cache payloads: same point, same seed —
+    and, for traced runs, a stored trace."""
     experiment, knobs, seed = task
     return (payload.get("experiment") == experiment
             and payload.get("seed") == seed
             and payload.get("knobs") == knobs
-            and "report" in payload)
+            and "report" in payload
+            and (not trace or "telemetry" in payload))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable, Optional
 
 from repro.errors import BufferPoolError
+from repro.telemetry.context import current_collector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -97,10 +98,15 @@ class BufferPool:
     def get(self, key: Hashable, pin: bool = False) -> Optional[Any]:
         """Return the cached page or None (a miss).  Records the access."""
         frame = self._frames.get(key)
+        telemetry = current_collector()
         if frame is None:
             self.misses += 1
+            if telemetry is not None:
+                telemetry.count("buffer.miss")
             return None
         self.hits += 1
+        if telemetry is not None:
+            telemetry.count("buffer.hit")
         self._touch(frame)
         if pin:
             frame.pin_count += 1
@@ -196,6 +202,9 @@ class BufferPool:
         frame = self._frames.pop(victim_key)
         self._clock_order.remove(victim_key)
         self.evictions += 1
+        telemetry = current_collector()
+        if telemetry is not None:
+            telemetry.count("buffer.eviction")
         return Evicted(victim_key, frame.page, frame.dirty)
 
     def _choose_victim(self) -> Hashable:

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Generator, Optional, Union
 
 from repro.errors import StorageError
 from repro.hardware.power import Transition, breakeven_idle_seconds
+from repro.telemetry.context import current_collector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.disk import HardDisk
@@ -114,6 +115,9 @@ class BurstPrefetcher:
                 burst = min(self.buffer_bytes, remaining)
                 yield from self.disk.read(int(burst), stream=stream_token)
                 self.stats.bursts += 1
+                telemetry = current_collector()
+                if telemetry is not None:
+                    telemetry.count("prefetch.burst")
                 remaining -= burst
                 self.stats.bytes_streamed += burst
                 drain_seconds = burst / self.consume_rate
@@ -130,6 +134,8 @@ class BurstPrefetcher:
                     quiet = max(0.0, drain_seconds - lead)
                     yield from self.disk.spin_down()
                     self.stats.spin_downs += 1
+                    if telemetry is not None:
+                        telemetry.count("prefetch.spin_down")
                     sleepable = quiet
                 else:
                     sleepable = max(0.0, drain_seconds - lead)

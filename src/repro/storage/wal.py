@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Union
 
 from repro.errors import WalError
 from repro.sim.events import Event
+from repro.telemetry.context import current_collector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.disk import HardDisk
@@ -125,6 +126,10 @@ class WriteAheadLog:
             now = self.sim.now
             self.stats.flushes += 1
             self.stats.bytes_flushed += nbytes
+            telemetry = current_collector()
+            if telemetry is not None:
+                telemetry.count("wal.flush")
+                telemetry.count("wal.bytes_flushed", nbytes)
             for _size, ack, enqueued_at in batch:
                 self.stats.commit_latencies.append(now - enqueued_at)
                 ack.succeed(now)

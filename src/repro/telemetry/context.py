@@ -1,0 +1,51 @@
+"""The process-global telemetry switch.
+
+Telemetry is *off* by default: :func:`current_collector` returns
+``None`` and every hook in the engine (executor spans, meter
+registration, storage counters) reduces to one module-global read plus
+one ``is None`` test — cheap enough to leave in hot paths permanently
+(the overhead guard in ``benchmarks/test_telemetry_overhead.py`` holds
+the *enabled* cost under 5 %; disabled it is unmeasurable).
+
+This module deliberately imports nothing from the rest of the package,
+so any engine module can hook into it without creating import cycles.
+Worker processes each carry their own global, which is exactly the
+isolation the runner's process pool needs: a traced point captures in
+its own worker and ships the finished trace back as plain dicts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.collector import TelemetryCollector
+
+_collector: Optional["TelemetryCollector"] = None
+
+
+def current_collector() -> Optional["TelemetryCollector"]:
+    """The active collector, or ``None`` when telemetry is off."""
+    return _collector
+
+
+def install(collector: "TelemetryCollector") -> None:
+    """Make ``collector`` the process-wide active collector.
+
+    Nesting is refused: a capture inside a capture almost always means
+    a missing :func:`uninstall` (e.g. a leaked context manager), and
+    silently reparenting spans would corrupt both traces.
+    """
+    global _collector
+    if _collector is not None:
+        from repro.errors import ReproError
+        raise ReproError("a telemetry collector is already installed; "
+                         "captures do not nest")
+    _collector = collector
+
+
+def uninstall(collector: "TelemetryCollector") -> None:
+    """Deactivate ``collector`` (no-op if it is not the active one)."""
+    global _collector
+    if _collector is collector:
+        _collector = None

@@ -1,0 +1,87 @@
+"""TelemetrySink: collect per-point traces from runner progress events.
+
+The runner emits a :class:`~repro.runner.events.PointTraced` event
+(carrying the decoded :class:`TelemetryTrace`) for every traced point —
+cache hits included, since traced payloads store their trace.  A
+``TelemetrySink`` is an ordinary event sink that accumulates those into
+a per-point map plus run-level rollups; compose it with the printing
+sink via :func:`tee`::
+
+    from repro.runner import Runner
+    from repro.telemetry import TelemetrySink
+
+    sink = TelemetrySink()
+    run = Runner(trace=True, on_event=sink).run(spec)
+    sink.device_totals()        # Joules per device across the sweep
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.telemetry.trace import TelemetryTrace
+
+
+@dataclass
+class TelemetrySink:
+    """Event sink that keeps every point's trace, in sweep order.
+
+    ``forward`` (optional) receives every event after the sink records
+    it, so one sink can both collect and keep a printer running.
+    """
+
+    forward: Optional[Callable[[Any], None]] = None
+    traces: dict[int, TelemetryTrace] = field(default_factory=dict)
+    knobs: dict[int, dict[str, Any]] = field(default_factory=dict)
+
+    def __call__(self, event: Any) -> None:
+        # imported here so constructing a sink never drags the runner in
+        from repro.runner.events import PointTraced
+        if isinstance(event, PointTraced):
+            self.traces[event.index] = event.trace
+            self.knobs[event.index] = dict(event.knobs)
+        if self.forward is not None:
+            self.forward(event)
+
+    # -- rollups -----------------------------------------------------
+
+    def device_totals(self) -> dict[str, float]:
+        """Metered Joules per device, summed across every traced point."""
+        totals: dict[str, float] = {}
+        for trace in self.traces.values():
+            for name, joules in trace.device_totals().items():
+                totals[name] = totals.get(name, 0.0) + joules
+        return dict(sorted(totals.items()))
+
+    def counter_totals(self) -> dict[str, float]:
+        """Counters summed across every traced point."""
+        totals: dict[str, float] = {}
+        for trace in self.traces.values():
+            for name, value in trace.counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))
+
+    def summary_rows(self) -> list[tuple]:
+        """(point, duration s, metered J, busy-time J, top device) rows."""
+        rows = []
+        for index in sorted(self.traces):
+            trace = self.traces[index]
+            totals = trace.device_totals()
+            top = max(totals, key=totals.get) if totals else "-"
+            rows.append((index, round(trace.duration, 6),
+                         round(trace.total_joules, 6),
+                         round(trace.active_total_joules, 6), top))
+        return rows
+
+
+def tee(*sinks: Optional[Callable[[Any], None]]
+        ) -> Callable[[Any], None]:
+    """Fan one event stream out to several sinks (Nones skipped)."""
+    active = [s for s in sinks if s is not None]
+
+    def fanout(event: Any) -> None:
+        for sink in active:
+            sink(event)
+
+    return fanout

@@ -1,0 +1,208 @@
+"""The serializable telemetry capture: span tree + device timelines.
+
+A :class:`TelemetryTrace` is what one traced run produces, frozen into
+plain JSON-safe data: a forest of :class:`SpanNode` (each carrying its
+per-device metered and busy-time Joules), one :class:`DeviceTimeline`
+per metered device (the power step function plus energy totals), and
+the counter map the storage hooks incremented.  It speaks the repo's
+report protocol — ``to_dict`` / ``from_dict`` invert each other exactly
+— so traces ride inside cached point payloads, cross the process-pool
+boundary, and appear verbatim in ``RunResult`` JSON.
+
+Two accountings appear side by side, matching the paper:
+
+* ``device_joules`` / ``energy_joules`` — *metered*: the integral of the
+  device's power step function over the span's interval (what a wall
+  meter attributes to the phase);
+* ``active_joules`` / ``active_energy_joules`` — *busy-time*: busy
+  unit-seconds inside the span priced at the device's active power
+  (Figure 2's "assuming that an idle CPU does not consume any power").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ReproError
+
+
+@dataclass
+class SpanNode:
+    """One finalized span with per-device energy attribution."""
+
+    name: str
+    started_at: float
+    ended_at: float
+    device_joules: dict[str, float] = field(default_factory=dict)
+    active_joules: dict[str, float] = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+    @property
+    def total_joules(self) -> float:
+        """Metered energy over this span's interval, all devices."""
+        return sum(self.device_joules.values())
+
+    @property
+    def active_total_joules(self) -> float:
+        """Busy-time energy attributed to this span, all devices."""
+        return sum(self.active_joules.values())
+
+    def self_joules(self) -> float:
+        """Metered energy not covered by any child span's interval."""
+        return self.total_joules - sum(c.total_joules for c in self.children)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "SpanNode"]]:
+        """Pre-order traversal as ``(depth, node)`` pairs."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "device_joules": {k: v for k, v
+                              in sorted(self.device_joules.items())},
+            "active_joules": {k: v for k, v
+                              in sorted(self.active_joules.items())},
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpanNode":
+        return cls(
+            name=data["name"],
+            started_at=data["started_at"],
+            ended_at=data["ended_at"],
+            device_joules=dict(data.get("device_joules", {})),
+            active_joules=dict(data.get("active_joules", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+@dataclass
+class DeviceTimeline:
+    """One device's power timeline and energy totals over the capture.
+
+    ``times``/``watts`` are the device's power step function (possibly
+    downsampled — ``n_raw_samples`` preserves the original count); the
+    energy totals are always computed from the *full* series, so
+    downsampling only coarsens the plot, never the Joules.
+    """
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    watts: list[float] = field(default_factory=list)
+    energy_joules: float = 0.0
+    active_energy_joules: float = 0.0
+    busy_seconds: float = 0.0
+    n_raw_samples: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "times": list(self.times),
+            "watts": list(self.watts),
+            "energy_joules": self.energy_joules,
+            "active_energy_joules": self.active_energy_joules,
+            "busy_seconds": self.busy_seconds,
+            "n_raw_samples": self.n_raw_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeviceTimeline":
+        return cls(
+            name=data["name"],
+            times=list(data.get("times", [])),
+            watts=list(data.get("watts", [])),
+            energy_joules=data.get("energy_joules", 0.0),
+            active_energy_joules=data.get("active_energy_joules", 0.0),
+            busy_seconds=data.get("busy_seconds", 0.0),
+            n_raw_samples=data.get("n_raw_samples", 0),
+        )
+
+
+@dataclass
+class TelemetryTrace:
+    """Everything one traced run captured."""
+
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    devices: list[DeviceTimeline] = field(default_factory=list)
+    spans: list[SpanNode] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    # -- summaries ---------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+    def device(self, name: str) -> DeviceTimeline:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise ReproError(f"trace has no device {name!r}")
+
+    def device_totals(self) -> dict[str, float]:
+        """Metered Joules per device over the whole capture."""
+        return {d.name: d.energy_joules for d in self.devices}
+
+    def active_totals(self) -> dict[str, float]:
+        """Busy-time Joules per device over the whole capture."""
+        return {d.name: d.active_energy_joules for d in self.devices}
+
+    @property
+    def total_joules(self) -> float:
+        return sum(d.energy_joules for d in self.devices)
+
+    @property
+    def active_total_joules(self) -> float:
+        return sum(d.active_energy_joules for d in self.devices)
+
+    def attributed_joules(self) -> float:
+        """Metered energy covered by the root spans' intervals."""
+        return sum(s.total_joules for s in self.spans)
+
+    def unattributed_joules(self) -> float:
+        """Capture energy outside every root span (setup, idle tails).
+
+        Conservation: ``attributed + unattributed == total`` whenever
+        root spans do not overlap in time (the engine's spans never do
+        within one query; concurrent queries overlap by design and then
+        attribution intentionally double-counts the shared interval).
+        """
+        return self.total_joules - self.attributed_joules()
+
+    def all_spans(self) -> Iterator[tuple[int, SpanNode]]:
+        """Pre-order traversal of every span in every tree."""
+        for root in self.spans:
+            yield from root.walk()
+
+    # -- serialization -----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "devices": [d.to_dict() for d in self.devices],
+            "spans": [s.to_dict() for s in self.spans],
+            "counters": {k: v for k, v in sorted(self.counters.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryTrace":
+        return cls(
+            started_at=data.get("started_at", 0.0),
+            ended_at=data.get("ended_at", 0.0),
+            devices=[DeviceTimeline.from_dict(d)
+                     for d in data.get("devices", [])],
+            spans=[SpanNode.from_dict(s) for s in data.get("spans", [])],
+            counters=dict(data.get("counters", {})),
+        )

@@ -1,0 +1,17 @@
+"""Tier-1 doctest driver: the documented core modules' examples must
+execute (CI also runs ``pytest --doctest-modules`` on them, but this
+keeps the plain ``pytest`` invocation honest)."""
+
+import doctest
+
+import pytest
+
+from repro.core import metrics, profiler
+
+
+@pytest.mark.parametrize("module", [metrics, profiler],
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0
