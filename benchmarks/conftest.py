@@ -12,28 +12,112 @@ Sweep-style benchmarks go through :func:`run_spec`, which executes an
 (``$REPRO_BENCH_WORKERS``, default 2) backed by the shared on-disk
 result cache (``$REPRO_CACHE_DIR``, default ``.repro-cache/``) — so a
 repeated benchmark/CI run skips every already-simulated point.
+
+Every result additionally feeds the observatory ledger: an autouse
+fixture notes the running benchmark, and :func:`run_spec` /
+:func:`run_once` append :class:`~repro.observatory.BenchRecord` rows
+to ``BENCH_<suite>.json`` (suite ``$REPRO_BENCH_SUITE``, default
+``core``; directory ``$REPRO_HISTORY_DIR``, default the repo root).
+Set ``REPRO_OBSERVATORY=0`` to switch recording off.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+import pytest
 
 from repro.core.report import format_table
 from repro.runner import ExperimentSpec, Runner, RunResult
+from repro.runner.reports import report_metrics
+
+#: the benchmark (pytest node) currently running, for ledger records
+_CURRENT_BENCHMARK: dict[str, Optional[str]] = {"name": None}
+
+_RECORDER: Any = None
+
+
+def _observatory_enabled() -> bool:
+    return os.environ.get("REPRO_OBSERVATORY", "1").lower() not in (
+        "0", "off", "false", "no")
+
+
+def observatory_recorder():
+    """The harness-wide ledger recorder (None when disabled)."""
+    global _RECORDER
+    if not _observatory_enabled():
+        return None
+    if _RECORDER is None:
+        from repro.observatory import Recorder
+        root = os.environ.get(
+            "REPRO_HISTORY_DIR",
+            str(Path(__file__).resolve().parent.parent))
+        suite = os.environ.get("REPRO_BENCH_SUITE", "core")
+        _RECORDER = Recorder(root, suite=suite)
+    return _RECORDER
+
+
+@pytest.fixture(autouse=True)
+def _observatory_benchmark_name(request):
+    """Expose the running benchmark's name to the record helpers."""
+    _CURRENT_BENCHMARK["name"] = request.node.name
+    yield
+    _CURRENT_BENCHMARK["name"] = None
+
+
+def _benchmark_name(fallback: str) -> str:
+    return _CURRENT_BENCHMARK["name"] or fallback
+
+
+#: (benchmark name, spec hash) -> ledger series name, so two different
+#: sweeps inside one benchmark never share a longitudinal series
+_NODE_SERIES: dict[tuple[str, str], str] = {}
+
+
+def _series_name(spec: ExperimentSpec, variant: Optional[str]) -> str:
+    name = _benchmark_name(spec.experiment)
+    if variant is not None:
+        return f"{name}[{variant}]"
+    key = (name, spec.spec_hash())
+    if key not in _NODE_SERIES:
+        taken = {s for (n, _), s in _NODE_SERIES.items() if n == name}
+        _NODE_SERIES[key] = (
+            name if name not in taken
+            else f"{name}[{spec.spec_hash()[:8]}]")
+    return _NODE_SERIES[key]
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:
     """Run a deterministic experiment once under pytest-benchmark."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    recorder = observatory_recorder()
+    if recorder is not None and result is not None:
+        sim_seconds, joules = report_metrics(result)
+        if sim_seconds > 0 or joules > 0:
+            recorder.record_report(_benchmark_name("run_once"), result)
+    return result
 
 
-def run_spec(spec: ExperimentSpec, workers: int | None = None
-             ) -> RunResult:
-    """Execute a spec with the harness-wide pool/cache settings."""
+def run_spec(spec: ExperimentSpec, workers: int | None = None,
+             variant: Optional[str] = None) -> RunResult:
+    """Execute a spec with the harness-wide pool/cache settings.
+
+    ``variant`` names the ledger series when one benchmark runs several
+    sweeps (e.g. A8's real vs. ideal machine); unnamed extra sweeps get
+    a spec-hash suffix automatically.
+    """
     if workers is None:
         workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
-    return Runner(workers=workers, cache=True).run(spec)
+    # traced, so ledger records carry counters and power timelines;
+    # traced runs cache under their own keys (see ARCHITECTURE.md)
+    result = Runner(workers=workers, cache=True, trace=True).run(spec)
+    recorder = observatory_recorder()
+    if recorder is not None:
+        recorder.record_run(result,
+                            benchmark=_series_name(spec, variant))
+    return result
 
 
 def emit(benchmark, title: str, headers: Sequence[str],

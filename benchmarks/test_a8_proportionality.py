@@ -26,7 +26,7 @@ def sweep():
         "utilization": UTILIZATIONS,
         "kind": "real",
         "window_seconds": WINDOW_SECONDS,
-    }, profile="commodity"))
+    }, profile="commodity"), variant="real")
     real = [(p.report.average_watts, p.report.work_seconds)
             for p in real_run.points]
     peak = real[-1][0]
@@ -35,7 +35,7 @@ def sweep():
         "kind": "ideal",
         "window_seconds": WINDOW_SECONDS,
         "peak_watts": peak,
-    }, profile="commodity"))
+    }, profile="commodity"), variant="ideal")
     ideal = [(p.report.average_watts, p.report.work_seconds)
              for p in ideal_run.points]
     return real, ideal

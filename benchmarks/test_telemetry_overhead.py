@@ -57,3 +57,40 @@ def test_telemetry_overhead_under_five_percent():
     assert overhead < MAX_OVERHEAD, (
         f"telemetry capture costs {overhead:.2%} (> {MAX_OVERHEAD:.0%}): "
         f"untraced {off:.4f}s vs traced {on:.4f}s")
+
+
+def test_observatory_recording_overhead_under_five_percent(tmp_path):
+    """Appending a ledger record must stay in the telemetry noise.
+
+    Same interleaved min-of-N protocol as above, but both arms run the
+    traced point — the measured delta is purely the observatory's
+    record build (metric extraction, timeline downsampling) plus the
+    JSONL append."""
+    from repro.observatory import Recorder
+
+    recorder = Recorder(tmp_path, suite="overhead")
+    defn = get_experiment("fig1")
+
+    def traced():
+        with capture() as collector:
+            report = defn.call_point(TINY_FIG1, seed=2009)
+        return report, collector.finalize()
+
+    traced()  # warm imports and caches outside the clock
+    off_times, on_times = [], []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        traced()
+        off_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        report, trace = traced()
+        recorder.record_report("fig1_tiny", report, trace=trace)
+        on_times.append(time.perf_counter() - started)
+    off, on = min(off_times), min(on_times)
+    overhead = on / off - 1.0
+    print(f"\nobservatory overhead: off={off:.4f}s on={on:.4f}s "
+          f"({overhead:+.2%})")
+    assert overhead < MAX_OVERHEAD, (
+        f"observatory recording costs {overhead:.2%} "
+        f"(> {MAX_OVERHEAD:.0%}): traced {off:.4f}s vs "
+        f"traced+recorded {on:.4f}s")

@@ -23,7 +23,7 @@ from repro.core.metrics import energy_efficiency, perf_per_watt
 from repro.relational.executor import ExecutionContext, Executor, QueryResult
 from repro.sim import Simulation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExecutionContext",

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.observatory``."""
+
+import sys
+
+from repro.observatory.cli import main
+
+sys.exit(main())

@@ -1,0 +1,226 @@
+"""Turning live results into history records.
+
+Two producers feed the ledger:
+
+* :class:`Recorder` — call-style: hand it a finished
+  :class:`~repro.runner.runner.RunResult` (or a bare report object)
+  and it appends one :class:`BenchRecord` per point.  This is what
+  ``benchmarks/conftest.py`` and the ``observatory record`` CLI use.
+* :class:`ObservatorySink` — event-style: an ordinary runner event
+  sink (compose it with :class:`~repro.telemetry.TelemetrySink` or the
+  printing sink via ``forward=``) that accumulates ``PointFinished`` /
+  ``PointTraced`` events and appends the whole run on ``RunFinished``.
+
+Both share the metric extraction in :mod:`repro.observatory.record`
+and both downsample traced power timelines to a plot-friendly size
+before storage — the ledger keeps trends, not raw traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.observatory.history import HistoryStore
+from repro.observatory.record import (
+    BenchRecord,
+    extract_work_units,
+    git_sha,
+    host_info,
+    point_label,
+    point_metrics,
+    utc_now_iso,
+)
+
+#: timeline samples kept per device inside a stored record — coarse on
+#: purpose: the ledger accumulates forever, the dashboard plots small
+RECORD_TIMELINE_SAMPLES = 64
+
+
+def _resample(times: Sequence[float], values: Sequence[float],
+              limit: int) -> tuple[list[float], list[float]]:
+    """Evenly thin a step series to ``limit`` samples, keeping both
+    endpoints (same policy as the telemetry collector's downsampler)."""
+    n = len(times)
+    if n <= limit:
+        return list(times), list(values)
+    step = (n - 1) / (limit - 1)
+    idx = sorted({round(i * step) for i in range(limit)} | {0, n - 1})
+    return [times[i] for i in idx], [values[i] for i in idx]
+
+
+def timelines_of(trace: Any,
+                 limit: int = RECORD_TIMELINE_SAMPLES) -> list[dict]:
+    """A trace's device power timelines, downsampled for storage."""
+    out = []
+    for dev in getattr(trace, "devices", []):
+        times, watts = _resample(dev.times, dev.watts, limit)
+        out.append({
+            "name": dev.name,
+            "times": [round(t, 9) for t in times],
+            "watts": [round(w, 9) for w in watts],
+            "energy_joules": dev.energy_joules,
+            "busy_seconds": dev.busy_seconds,
+        })
+    return out
+
+
+class Recorder:
+    """Builds and appends :class:`BenchRecord` rows for one suite."""
+
+    def __init__(self, root: str | HistoryStore = ".",
+                 suite: str = "core",
+                 timeline_samples: int = RECORD_TIMELINE_SAMPLES):
+        self.store = (root if isinstance(root, HistoryStore)
+                      else HistoryStore(root))
+        self.suite = suite
+        self.timeline_samples = timeline_samples
+        # provenance is computed once per recorder, not per record
+        self._git_sha = git_sha()
+        self._host = host_info()
+
+    # -- record builders ---------------------------------------------
+
+    def build(self, benchmark: str, *, point: str = "defaults",
+              sim_seconds: float = 0.0, joules: float = 0.0,
+              host_seconds: float = 0.0, report: Any = None,
+              trace: Any = None, spec_hash: str = "") -> BenchRecord:
+        records, unit = (extract_work_units(report)
+                         if report is not None else (0.0, "record"))
+        counters: dict[str, float] = {}
+        timelines: list[dict] = []
+        if trace is not None:
+            counters = dict(trace.counters)
+            timelines = timelines_of(trace, self.timeline_samples)
+        return BenchRecord(
+            suite=self.suite, benchmark=benchmark, point=point,
+            metrics=point_metrics(sim_seconds, joules, records,
+                                  host_seconds),
+            counters=counters, record_unit=unit,
+            spec_hash=spec_hash, git_sha=self._git_sha,
+            host=dict(self._host), recorded_at=utc_now_iso(),
+            timelines=timelines)
+
+    def record_run(self, result: Any,
+                   benchmark: Optional[str] = None) -> list[BenchRecord]:
+        """Append one record per point of a finished ``RunResult``."""
+        spec = result.spec
+        axes = sorted(spec.sweep_axes())
+        name = benchmark or spec.experiment
+        spec_hash = spec.spec_hash()
+        appended = []
+        for p in result.points:
+            record = self.build(
+                name, point=point_label(p.knobs, axes),
+                sim_seconds=p.sim_seconds, joules=p.joules,
+                host_seconds=p.host_seconds, report=p.report,
+                trace=p.telemetry, spec_hash=spec_hash)
+            appended.append(self.store.append(record))
+        return appended
+
+    def record_report(self, benchmark: str, report: Any, *,
+                      point: str = "defaults", host_seconds: float = 0.0,
+                      trace: Any = None,
+                      spec_hash: str = "") -> BenchRecord:
+        """Append one record for a bare report object (no spec/run)."""
+        from repro.runner.reports import report_metrics
+        sim_seconds, joules = report_metrics(report)
+        record = self.build(
+            benchmark, point=point, sim_seconds=sim_seconds,
+            joules=joules, host_seconds=host_seconds, report=report,
+            trace=trace, spec_hash=spec_hash)
+        return self.store.append(record)
+
+
+class ObservatorySink:
+    """Event sink that records a run into the ledger as it finishes.
+
+    Rides the same event stream as the telemetry and printing sinks::
+
+        sink = ObservatorySink(Recorder("histories", suite="ci"),
+                               benchmark="fig2",
+                               forward=TelemetrySink())
+        Runner(trace=True, on_event=sink).run(spec)
+        sink.appended        # the BenchRecords written
+
+    Points accumulate from ``PointFinished``/``PointTraced`` and the
+    ledger is written once, on ``RunFinished`` — the sweep-axis labels
+    need every point's knobs, and a half-recorded run would poison the
+    baseline window.
+    """
+
+    def __init__(self, recorder: Recorder,
+                 benchmark: Optional[str] = None,
+                 spec: Any = None,
+                 forward: Optional[Callable[[Any], None]] = None):
+        self.recorder = recorder
+        self.benchmark = benchmark
+        self.spec = spec
+        self.forward = forward
+        self.experiment: Optional[str] = None
+        self.spec_hash: str = ""
+        self.appended: list[BenchRecord] = []
+        self._points: dict[int, dict[str, Any]] = {}
+        self._traces: dict[int, Any] = {}
+        self._reports: dict[int, Any] = {}
+
+    def __call__(self, event: Any) -> None:
+        from repro.runner.events import (
+            PointFinished,
+            PointTraced,
+            RunFinished,
+            RunStarted,
+        )
+        if isinstance(event, RunStarted):
+            self.experiment = event.experiment
+            self.spec_hash = event.spec_hash
+            self._points.clear()
+            self._traces.clear()
+            self.appended = []
+        elif isinstance(event, PointFinished):
+            self._points[event.index] = {
+                "knobs": dict(event.knobs),
+                "sim_seconds": event.sim_seconds,
+                "joules": event.joules,
+                "host_seconds": event.host_seconds,
+            }
+        elif isinstance(event, PointTraced):
+            self._traces[event.index] = event.trace
+        elif isinstance(event, RunFinished):
+            self._flush()
+        if self.forward is not None:
+            self.forward(event)
+
+    def attach_report(self, index: int, report: Any) -> None:
+        """Optionally supply a point's report so work-unit metrics
+        (Joules/record, records/s/W) appear; events alone carry only
+        seconds and Joules."""
+        self._reports[index] = report
+
+    def _flush(self) -> None:
+        if self.spec is not None:
+            axes = sorted(self.spec.sweep_axes())
+        else:
+            axes = self._varying_knobs()
+        name = self.benchmark or self.experiment or "run"
+        for index in sorted(self._points):
+            info = self._points[index]
+            record = self.recorder.build(
+                name, point=point_label(info["knobs"], axes),
+                sim_seconds=info["sim_seconds"],
+                joules=info["joules"],
+                host_seconds=info["host_seconds"],
+                report=self._reports.get(index),
+                trace=self._traces.get(index),
+                spec_hash=self.spec_hash)
+            self.appended.append(self.recorder.store.append(record))
+
+    def _varying_knobs(self) -> list[str]:
+        """Without a spec, infer the sweep axes: knobs whose values
+        differ across the collected points."""
+        if len(self._points) <= 1:
+            return []
+        seen: dict[str, set] = {}
+        for info in self._points.values():
+            for knob, value in info["knobs"].items():
+                seen.setdefault(knob, set()).add(repr(value))
+        return sorted(k for k, values in seen.items() if len(values) > 1)

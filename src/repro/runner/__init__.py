@@ -48,6 +48,7 @@ from repro.runner.reports import (
 )
 from repro.runner.runner import PointResult, Runner, RunResult
 from repro.runner.spec import DEFAULT_SEED, ExperimentSpec, SpecError
+from repro.runner.worker import PointExecutionError
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -56,6 +57,7 @@ __all__ = [
     "EventPrinter",
     "ExperimentDef",
     "ExperimentSpec",
+    "PointExecutionError",
     "PointFinished",
     "PointResult",
     "PointStarted",

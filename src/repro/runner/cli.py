@@ -7,7 +7,7 @@ Subcommands::
     trace EXPERIMENT [--json | --csv] [--active] [--width N]
                    [--<knob> value ...]      # energy-attribution report
     list                                     # registered experiments
-    cache stats | cache clear                # inspect / wipe the store
+    cache stats [--json] | cache clear       # inspect / wipe the store
 
 ``trace`` runs the experiment with telemetry capture on (reports are
 identical to ``run``; traced points cache separately) and prints, per
@@ -118,6 +118,8 @@ def _build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or wipe the cache")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache", default=None, metavar="DIR")
+    cache.add_argument("--json", action="store_true", dest="as_json",
+                       help="(stats) print machine-readable JSON")
     return parser
 
 
@@ -138,10 +140,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache or DEFAULT_CACHE_DIR)
     if args.action == "stats":
         stats = cache.stats()
-        print(f"cache root : {stats.root}")
-        print(f"entries    : {stats.entries}")
-        print(f"total bytes: {stats.total_bytes}")
+        if args.as_json:
+            print(json.dumps({"root": stats.root,
+                              "entries": stats.entries,
+                              "total_bytes": stats.total_bytes},
+                             sort_keys=True))
+        else:
+            print(f"cache root : {stats.root}")
+            print(f"entries    : {stats.entries}")
+            print(f"total bytes: {stats.total_bytes}")
     else:
+        if not cache.root.is_dir():
+            raise ReproError(
+                f"cache directory {cache.root} does not exist "
+                "(nothing to clear)")
         removed = cache.clear()
         print(f"removed {removed} cached point(s) from {cache.root}")
     return 0
@@ -237,21 +249,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             if extras:
                 parser.error(f"unrecognized arguments: {' '.join(extras)}")
-            return _cmd_list()
-        if args.command == "cache":
+            code = _cmd_list()
+        elif args.command == "cache":
             if extras:
                 parser.error(f"unrecognized arguments: {' '.join(extras)}")
-            return _cmd_cache(args)
-        if args.command == "trace":
-            return _cmd_trace(args, extras)
-        return _cmd_run(args, extras)
+            code = _cmd_cache(args)
+        elif args.command == "trace":
+            code = _cmd_trace(args, extras)
+        else:
+            code = _cmd_run(args, extras)
+        # flush inside the guard: output smaller than the pipe buffer
+        # would otherwise surface BrokenPipeError only at interpreter
+        # shutdown, past any except clause
+        sys.stdout.flush()
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Downstream closed the pipe early (e.g. ``... | head``); park
         # stdout on devnull so the interpreter's shutdown flush doesn't
-        # raise again, and exit quietly.
+        # raise again, and exit quietly.  Applies to every subcommand,
+        # run/list/cache included, not just trace.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
 

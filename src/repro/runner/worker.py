@@ -12,11 +12,22 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping
 
+from repro.errors import ReproError
 from repro.runner.registry import get_experiment
 from repro.runner.reports import encode_report, report_metrics
 
 #: (experiment name, resolved point knobs, point seed)
 PointTask = tuple[str, dict[str, Any], int]
+
+
+class PointExecutionError(ReproError):
+    """A point function raised: bad knob values, broken physics, etc.
+
+    Raised ``from`` the original exception, so library callers keep the
+    full chained traceback while the CLI's :class:`ReproError` handler
+    collapses it to a one-line message (a wrong ``--disks`` value must
+    not dump a simulator stack on the terminal).
+    """
 
 
 def execute_point(task: PointTask, trace: bool = False) -> dict[str, Any]:
@@ -32,14 +43,22 @@ def execute_point(task: PointTask, trace: bool = False) -> dict[str, Any]:
     defn = get_experiment(experiment)
     started = time.perf_counter()
     telemetry = None
-    if trace:
-        # imported lazily: untraced workers never touch telemetry
-        from repro.telemetry import capture
-        with capture() as collector:
+    try:
+        if trace:
+            # imported lazily: untraced workers never touch telemetry
+            from repro.telemetry import capture
+            with capture() as collector:
+                report = defn.call_point(knobs, seed)
+            telemetry = collector.finalize().to_dict()
+        else:
             report = defn.call_point(knobs, seed)
-        telemetry = collector.finalize().to_dict()
-    else:
-        report = defn.call_point(knobs, seed)
+    except ReproError:
+        raise
+    except Exception as exc:
+        brief = " ".join(f"{k}={v!r}" for k, v in sorted(knobs.items()))
+        raise PointExecutionError(
+            f"experiment {experiment!r} failed at point [{brief}] "
+            f"(seed {seed}): {type(exc).__name__}: {exc}") from exc
     host_seconds = time.perf_counter() - started
     sim_seconds, joules = report_metrics(report)
     payload = {
