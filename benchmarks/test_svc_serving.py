@@ -1,0 +1,56 @@
+"""Fleet serving (§4.2, [TWM+08]): dispatch-policy sweep on a 16-node
+cluster under the multi-tenant open-loop default stream.
+
+The consolidation-in-space story this bench must reproduce in shape:
+  * round-robin and least-loaded keep the whole fleet powered, so
+    their Joules/query are nearly identical;
+  * power-aware packing concentrates load and lets the autoscaler
+    power the cold tail down, cutting Joules/query by >= 15 % at an
+    equal-or-better fleet p95;
+  * every tenant's p95 SLA holds under every policy.
+
+Runs at ``svc_smoke`` scale (3 x 20k queries) so the CI suite stays
+fast; the acceptance-scale sweep (3 x 350k) is ``svc_policies`` via
+``python -m repro.runner run svc_policies``.
+"""
+
+from conftest import emit, run_once, run_spec
+
+from repro.runner import ExperimentSpec
+
+
+def test_svc_policy_sweep(benchmark):
+    spec = ExperimentSpec("svc_smoke", profile="commodity")
+    run = run_once(benchmark, lambda: run_spec(spec))
+    sweep = run.aggregate()
+    headline = sweep.headline()
+    emit(benchmark,
+         "Serving: dispatch policies on a 16-node fleet "
+         "(packing + autoscaling vs. all-on baselines)",
+         ["policy", "completed", "J_per_query", "p95_s", "avg_nodes_on",
+          "SLAs"],
+         [(policy, completed, round(jpq, 3), round(p95, 3),
+           round(nodes_on, 2), slas)
+          for (policy, completed, jpq, p95, nodes_on, slas)
+          in sweep.rows()],
+         savings_vs_round_robin_pct=round(
+             headline["savings_fraction"] * 100, 1),
+         power_aware_p95_s=round(headline["power_aware_p95_seconds"], 3),
+         round_robin_p95_s=round(headline["round_robin_p95_seconds"], 3),
+         spec_hash=spec.spec_hash()[:12],
+         cache_hits=run.cache_hits)
+
+    # the all-on baselines pay for the whole fleet either way
+    rr = sweep.report("round_robin")
+    ll = sweep.report("least_loaded")
+    assert abs(1.0 - ll.joules_per_query / rr.joules_per_query) < 0.02
+    # packing + autoscaling: the acceptance ordering
+    assert headline["savings_fraction"] >= 0.15
+    assert headline["power_aware_p95_seconds"] <= \
+        headline["round_robin_p95_seconds"]
+    # consolidation is visible in the duty ledger, not just the Joules
+    assert sweep.report("power_aware").average_active_nodes < \
+        rr.average_active_nodes
+    # and no policy buys energy with a missed SLA
+    for report in sweep.reports:
+        assert report.slas_met

@@ -4,8 +4,9 @@ A working reproduction of Harizopoulos, Meza, Shah & Ranganathan,
 "Energy Efficiency: The New Holy Grail of Data Management Systems
 Research" (CIDR 2009): an energy-metered discrete-event hardware
 substrate, a complete analytical query engine on top of it, an
-energy-aware optimizer, consolidation machinery, and the paper's two
-experiments plus ablations for its research agenda.
+energy-aware optimizer, consolidation machinery, a fleet-scale serving
+layer, and the paper's two experiments plus ablations for its research
+agenda.
 
 Quick start::
 
@@ -16,14 +17,29 @@ Quick start::
 or, from a shell::
 
     python -m repro.runner run fig1 --disks 36,66 --workers 2
+    python -m repro.runner run svc_policies   # fleet serving sweep
+
+The v1 entry points (``run_figure1``, ``run_figure2``) still resolve
+from here for compatibility, but are deprecated shims over the spec
+API and warn on use; they are looked up lazily so no internal module
+imports them.
 """
 
-from repro.core.experiments import run_figure1, run_figure2
+from repro.consolidation.scheduler import ScheduleReport
 from repro.core.metrics import energy_efficiency, perf_per_watt
 from repro.relational.executor import ExecutionContext, Executor, QueryResult
+from repro.runner import ExperimentSpec, Runner, RunResult
+from repro.service.report import ServiceReport, ServiceSweepResult
 from repro.sim import Simulation
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: deprecated v1 entry points, resolved lazily (PEP 562) so importing
+#: :mod:`repro` never touches them — they warn only when actually used
+_DEPRECATED_SHIMS = {
+    "run_figure1": ("repro.core.experiments", "run_figure1"),
+    "run_figure2": ("repro.core.experiments", "run_figure2"),
+}
 
 __all__ = [
     "ExecutionContext",
@@ -32,6 +48,9 @@ __all__ = [
     "QueryResult",
     "RunResult",
     "Runner",
+    "ScheduleReport",
+    "ServiceReport",
+    "ServiceSweepResult",
     "Simulation",
     "energy_efficiency",
     "perf_per_watt",
@@ -39,4 +58,14 @@ __all__ = [
     "run_figure2",
 ]
 
-from repro.runner import ExperimentSpec, Runner, RunResult  # noqa: E402
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SHIMS:
+        import importlib
+        module_name, attr = _DEPRECATED_SHIMS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_SHIMS))

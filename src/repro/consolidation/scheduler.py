@@ -36,12 +36,21 @@ class Arrival:
 
 
 def poisson_arrivals(mix: Sequence[PlanBuilder], n: int,
-                     rate_per_s: float, seed: int = 11) -> list[Arrival]:
-    """Draw ``n`` Poisson arrivals cycling through a query mix."""
+                     rate_per_s: float,
+                     seed: int | None = None) -> list[Arrival]:
+    """Draw ``n`` Poisson arrivals cycling through a query mix.
+
+    ``seed`` defaults to the runner's
+    :data:`~repro.runner.spec.DEFAULT_SEED`, so an unseeded stream and
+    a default registered experiment point draw the same arrivals.
+    """
     if rate_per_s <= 0:
         raise ConsolidationError("arrival rate must be positive")
     if not mix:
         raise ConsolidationError("query mix cannot be empty")
+    if seed is None:
+        from repro.runner.spec import DEFAULT_SEED
+        seed = DEFAULT_SEED
     rng = random.Random(seed)
     out = []
     t = 0.0
@@ -67,14 +76,31 @@ class ScheduleReport:
     @property
     def average_power_watts(self) -> float:
         if self.makespan_seconds <= 0:
-            return 0.0
+            raise ConsolidationError("empty run: average power undefined")
         return self.energy_joules / self.makespan_seconds
 
     @property
     def energy_efficiency(self) -> float:
-        if self.energy_joules <= 0:
-            return 0.0
-        return self.completed / self.energy_joules
+        """Queries per Joule; empty runs raise, like
+        :func:`repro.core.metrics.energy_efficiency`."""
+        from repro.core.metrics import energy_efficiency
+        return energy_efficiency(float(self.completed), self.energy_joules)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "completed": self.completed,
+            "makespan_seconds": self.makespan_seconds,
+            "energy_joules": self.energy_joules,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "max_latency_seconds": self.max_latency_seconds,
+            "spin_down_count": self.spin_down_count,
+            "latencies": list(self.latencies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleReport":
+        return cls(**dict(data))
 
 
 def run_fifo(sim: "Simulation", server: "Server", executor: Executor,

@@ -116,9 +116,16 @@ def _fig2_aggregate(points: Sequence["PointResult"]) -> Any:
                          compressed=by_codec[True])
 
 
+def _svc_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.service.experiments import svc_aggregate
+    return svc_aggregate(points)
+
+
 def _register_builtin_experiments() -> None:
+    from repro.consolidation.experiments import batching_point
     from repro.core.experiments import figure1_point, figure2_point
     from repro.hardware.profiles import FIG1_DISK_COUNTS
+    from repro.service.experiments import service_point
     from repro.workloads.duty_cycle import run_duty_cycle
     from repro.workloads.scan_workload import run_scan
 
@@ -164,6 +171,70 @@ def _register_builtin_experiments() -> None:
             "codec": None,
         },
         profile="flash_scan_node",
+    ))
+    register_experiment(ExperimentDef(
+        name="batching",
+        title="A3: FIFO vs. batched scheduling with array spin-down "
+              "(consolidation in time, §4.2)",
+        point_fn=batching_point,
+        defaults={
+            "policy": ["fifo", "batched"],
+            "window_seconds": 120.0,
+            "queries": 12,
+            "rate_per_s": 1.0 / 45.0,
+            "table_rows": 2000,
+            "scale": 200.0,
+            "tail_seconds": 300.0,
+        },
+        profile="commodity",
+    ))
+    _SVC_DEFAULTS = {
+        "nodes": 16,
+        "profile": "commodity",
+        "pack_backlog_seconds": 0.2,
+        "admission_limit_seconds": None,
+        "target_utilization": 0.55,
+        "epoch_seconds": 30.0,
+        "min_nodes": 2,
+    }
+    register_experiment(ExperimentDef(
+        name="svc_policies",
+        title="Serving: dispatch-policy sweep, 3 x 350k queries on a "
+              "16-node fleet (consolidation in space, §4.2)",
+        point_fn=service_point,
+        defaults={
+            "policy": ["round_robin", "least_loaded", "power_aware"],
+            "queries": 350_000,
+            **_SVC_DEFAULTS,
+        },
+        aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_smoke",
+        title="Serving: small dispatch-policy sweep for CI smoke / "
+              "observatory gating",
+        point_fn=service_point,
+        defaults={
+            "policy": ["round_robin", "least_loaded", "power_aware"],
+            "queries": 20_000,
+            **_SVC_DEFAULTS,
+        },
+        aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_fleet",
+        title="Serving: power-aware packing vs. fleet size",
+        point_fn=service_point,
+        defaults={
+            "policy": "power_aware",
+            "queries": 150_000,
+            **_SVC_DEFAULTS,
+            "nodes": [8, 16, 32, 64],
+        },
+        aggregate=_svc_aggregate,
+        profile="commodity",
     ))
     register_experiment(ExperimentDef(
         name="proportionality",

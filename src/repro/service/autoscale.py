@@ -1,0 +1,160 @@
+"""Fleet autoscaling with spin-up break-even accounting (§2.4, §4.2).
+
+The autoscaler is the temporal half of consolidation: the dispatcher
+packs load in space, the autoscaler turns the resulting cold tail off —
+but only when the power cycle pays for itself.  Every scale-down is
+gated by the node model's break-even time (boot + drain Joules repaid
+at the avoided idle draw), the same arithmetic as
+:meth:`repro.consolidation.migration.MigrationOutcome.breakeven_seconds`
+— a node is only worth switching off if demand has stayed low for at
+least that long.
+
+:func:`calibrated_drain_joules` closes the loop with the metered
+layer: it executes a real
+:class:`~repro.storage.partitioner.ConsolidationPlan` through
+:func:`~repro.consolidation.migration.execute_consolidation` on
+simulated disks and prices the fleet model's drain lump from the
+metered migration energy, so the fast fleet path and the per-device
+simulation agree on what powering a node down actually costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.service.node import FleetNode, NodePowerModel
+from repro.service.report import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.disk import HardDisk
+
+
+class Autoscaler:
+    """Epoch-based reactive scaler over a fixed node order.
+
+    Every ``epoch_seconds`` it smooths the observed demand (service
+    seconds offered per second, EWMA) into a desired node count at
+    ``target_utilization``, then:
+
+    * scales **up** immediately — latency is on the line — booting
+      powered-off nodes in index order;
+    * scales **down** only after demand has stayed below the current
+      capacity for both ``cooldown_epochs`` and the model's break-even
+      time, powering off drained nodes from the tail of the index
+      order (the dispatcher packs from the head, so the tail is cold).
+    """
+
+    def __init__(self, model: NodePowerModel,
+                 epoch_seconds: float = 30.0,
+                 target_utilization: float = 0.55,
+                 min_nodes: int = 2,
+                 ewma_alpha: float = 0.4,
+                 cooldown_epochs: int = 2) -> None:
+        if epoch_seconds <= 0:
+            raise ServiceError("epoch must be positive")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ServiceError("target utilization must be in (0, 1]")
+        if min_nodes < 1:
+            raise ServiceError("need at least one node powered on")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ServiceError("EWMA alpha must be in (0, 1]")
+        self.model = model
+        self.epoch_seconds = epoch_seconds
+        self.target_utilization = target_utilization
+        self.min_nodes = min_nodes
+        self.ewma_alpha = ewma_alpha
+        self.cooldown_epochs = cooldown_epochs
+        self._epoch_demand_seconds = 0.0
+        self._smoothed_rate: float | None = None
+        self._below_since: float | None = None
+        #: (time, powered-on count) decision log for reports/tests
+        self.decisions: list[tuple[float, int]] = []
+
+    def observe(self, service_seconds: float) -> None:
+        """Account one arrival's service demand into the current epoch."""
+        self._epoch_demand_seconds += service_seconds
+
+    def desired_nodes(self, n_nodes: int) -> int:
+        """Node count that serves the smoothed demand at target load."""
+        rate = self._smoothed_rate or 0.0
+        want = rate / self.target_utilization
+        nodes = int(want) + (0 if want == int(want) else 1)
+        return max(self.min_nodes, min(n_nodes, nodes))
+
+    def step(self, now: float, nodes: Sequence[FleetNode],
+             on_ids: list[int]) -> None:
+        """Close the epoch ending at ``now`` and adjust the fleet.
+
+        ``on_ids`` is the fleet's live powered-on index list (ascending)
+        and is mutated in place.
+        """
+        observed = self._epoch_demand_seconds / self.epoch_seconds
+        self._epoch_demand_seconds = 0.0
+        if self._smoothed_rate is None:
+            self._smoothed_rate = observed
+        else:
+            self._smoothed_rate += self.ewma_alpha * (observed
+                                                     - self._smoothed_rate)
+        desired = self.desired_nodes(len(nodes))
+
+        if desired > len(on_ids):
+            off = [i for i in range(len(nodes)) if not nodes[i].on]
+            for i in off[: desired - len(on_ids)]:
+                # a draining node (busy_until ahead of now) waits a turn
+                if nodes[i].busy_until <= now:
+                    nodes[i].power_on(now)
+                    on_ids.append(i)
+            on_ids.sort()
+            self._below_since = None
+        elif desired < len(on_ids):
+            if self._below_since is None:
+                self._below_since = now
+            hold = max(self.cooldown_epochs * self.epoch_seconds,
+                       self.model.breakeven_seconds())
+            if now - self._below_since >= hold:
+                self._scale_down(now, nodes, on_ids, desired)
+        else:
+            self._below_since = None
+        self.decisions.append((now, len(on_ids)))
+
+    def _scale_down(self, now: float, nodes: Sequence[FleetNode],
+                    on_ids: list[int], desired: int) -> None:
+        # tail-first, and only nodes whose pipes have fully drained —
+        # power_off would (rightly) refuse a node with backlog
+        for i in reversed(list(on_ids)):
+            if len(on_ids) <= desired:
+                break
+            if nodes[i].backlog(now) <= 0.0:
+                nodes[i].power_off(now)
+                on_ids.remove(i)
+
+
+def calibrated_drain_joules(
+        sim, disks: Sequence["HardDisk"],
+        resident_bytes: int = 64 * 1024 * 1024) -> float:
+    """Meter what draining one node's state actually costs.
+
+    Builds a one-move :class:`~repro.storage.partitioner.ConsolidationPlan`
+    (evacuate ``resident_bytes`` of hot state off the released device,
+    then spin it down) and executes it against real simulated disks via
+    :func:`~repro.consolidation.migration.execute_consolidation`.  The
+    metered migration energy is the drain lump a
+    :class:`NodePowerModel` should charge per power-off.
+    """
+    from repro.consolidation.migration import execute_consolidation
+    from repro.storage.partitioner import ConsolidationPlan, Move
+
+    if len(disks) < 2:
+        raise ServiceError("drain calibration needs a source and a target "
+                           "disk")
+    source, target = disks[0], disks[1]
+    plan = ConsolidationPlan(
+        assignments={"resident": target.spec.name},
+        moves=[Move(partition="resident", source=source.spec.name,
+                    target=target.spec.name, size_bytes=resident_bytes)],
+        devices_kept=[target.spec.name],
+        devices_released=[source.spec.name],
+    )
+    outcome = execute_consolidation(
+        sim, plan, {d.spec.name: d for d in disks})
+    return outcome.migration_energy_joules

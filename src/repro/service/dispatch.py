@@ -1,0 +1,161 @@
+"""Pluggable routing/admission policies for the cluster dispatcher.
+
+Three built-ins span the energy/latency design space the paper's §4.2
+workload-management agenda sketches:
+
+* :class:`RoundRobin` — the oblivious baseline: every node stays on,
+  arrivals rotate across the fleet regardless of backlog.
+* :class:`LeastLoaded` — join-the-shortest-queue: every node stays on,
+  arrivals go to the smallest backlog (the latency-optimal end).
+* :class:`PowerAwarePacking` — consolidation in space: arrivals pack
+  onto the lowest-indexed node whose backlog is under a bound, so the
+  fleet's tail goes cold and the autoscaler can power it off.  Spill
+  falls back to least-loaded among powered-on nodes, which is what
+  keeps the p95 at or below the oblivious baseline's.
+
+Policies are pure routing functions over node backlogs; admission is a
+shared knob (``admission_limit_seconds``) that rejects an arrival when
+its chosen node's backlog exceeds the limit — per-tenant rejection
+counts land in the :class:`~repro.service.report.ServiceReport`.
+
+Third-party policies register through :func:`register_policy` and are
+then addressable by name from :class:`~repro.runner.ExperimentSpec`
+knobs, the same extension pattern as
+:func:`repro.runner.register_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.service.node import FleetNode
+from repro.service.report import ServiceError
+
+
+class DispatchPolicy:
+    """Base routing policy.
+
+    ``autoscaled`` declares whether the policy wants the fleet's
+    autoscaler active (packing concentrates load precisely so the
+    autoscaler has something to switch off; the all-on baselines do
+    not).
+    """
+
+    name = "base"
+    autoscaled = False
+
+    def __init__(self,
+                 admission_limit_seconds: Optional[float] = None) -> None:
+        if admission_limit_seconds is not None \
+                and admission_limit_seconds <= 0:
+            raise ServiceError("admission limit must be positive")
+        self.admission_limit_seconds = admission_limit_seconds
+
+    def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
+               now: float, service_s: float) -> int:
+        """Index (into ``nodes``) of the node to serve this arrival."""
+        raise NotImplementedError
+
+    def admits(self, node: FleetNode, now: float) -> bool:
+        """Whether the routed arrival is admitted (else: rejected)."""
+        limit = self.admission_limit_seconds
+        return limit is None or node.backlog(now) <= limit
+
+
+class RoundRobin(DispatchPolicy):
+    """Rotate across powered-on nodes, blind to backlog."""
+
+    name = "round_robin"
+
+    def __init__(self,
+                 admission_limit_seconds: Optional[float] = None) -> None:
+        super().__init__(admission_limit_seconds)
+        self._next = 0
+
+    def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
+               now: float, service_s: float) -> int:
+        chosen = on_ids[self._next % len(on_ids)]
+        self._next += 1
+        return chosen
+
+
+class LeastLoaded(DispatchPolicy):
+    """Join the shortest queue (smallest backlog, ties to the lowest
+    index)."""
+
+    name = "least_loaded"
+
+    def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
+               now: float, service_s: float) -> int:
+        best = on_ids[0]
+        best_backlog = nodes[best].busy_until
+        for i in on_ids[1:]:
+            b = nodes[i].busy_until
+            if b < best_backlog:
+                best, best_backlog = i, b
+        return best
+
+
+class PowerAwarePacking(DispatchPolicy):
+    """Pack load onto the lowest-indexed nodes so the rest can sleep.
+
+    Routes to the first powered-on node whose backlog is at most
+    ``pack_backlog_seconds``; when every node is past the bound, spills
+    to the least-loaded powered-on node (bounding the worst-case wait
+    by the fleet-wide minimum backlog, not by an unlucky rotation).
+    """
+
+    name = "power_aware"
+    autoscaled = True
+
+    def __init__(self, pack_backlog_seconds: float = 0.2,
+                 admission_limit_seconds: Optional[float] = None) -> None:
+        super().__init__(admission_limit_seconds)
+        if pack_backlog_seconds < 0:
+            raise ServiceError("pack bound cannot be negative")
+        self.pack_backlog_seconds = pack_backlog_seconds
+
+    def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
+               now: float, service_s: float) -> int:
+        bound = now + self.pack_backlog_seconds
+        best = on_ids[0]
+        best_backlog = nodes[best].busy_until
+        if best_backlog <= bound:
+            return best
+        for i in on_ids[1:]:
+            b = nodes[i].busy_until
+            if b <= bound:
+                return i
+            if b < best_backlog:
+                best, best_backlog = i, b
+        return best
+
+
+#: policy name -> factory, for spec knobs and third-party extension
+DISPATCH_POLICIES: dict[str, Callable[..., DispatchPolicy]] = {}
+
+
+def register_policy(factory: Callable[..., DispatchPolicy],
+                    name: Optional[str] = None) -> Callable[..., DispatchPolicy]:
+    """Register a policy factory under ``name`` (default: its class
+    ``name`` attribute); usable as a decorator."""
+    DISPATCH_POLICIES[name or factory.name] = factory
+    return factory
+
+
+for _cls in (RoundRobin, LeastLoaded, PowerAwarePacking):
+    register_policy(_cls)
+
+
+def make_policy(policy, **kwargs) -> DispatchPolicy:
+    """Resolve a policy name (or pass a ready instance through)."""
+    if isinstance(policy, DispatchPolicy):
+        return policy
+    try:
+        factory = DISPATCH_POLICIES[policy]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(DISPATCH_POLICIES))
+        raise ServiceError(
+            f"unknown dispatch policy {policy!r}; registered: {known}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,64 @@
+"""Runner-facing entry points for the serving subsystem.
+
+:func:`service_point` is the physics of one ``svc_*`` sweep point —
+one dispatch policy over one generated arrival stream — and
+:func:`svc_aggregate` folds a policy sweep back into the
+figure-level :class:`~repro.service.report.ServiceSweepResult`.  Both
+are registered in :mod:`repro.runner.registry`, so::
+
+    python -m repro.runner run svc_policies
+
+serves the full 3-policy × 350k-query grid (1.05 M queries) through
+the ordinary Runner machinery: process pool, content-addressed cache,
+structured events, optional telemetry traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.service.autoscale import Autoscaler
+from repro.service.dispatch import make_policy
+from repro.service.fleet import simulate_service
+from repro.service.node import NodePowerModel
+from repro.service.report import ServiceSweepResult
+from repro.service.workload import build_stream
+
+
+def service_point(policy: str = "power_aware",
+                  queries: int = 350_000,
+                  nodes: int = 16,
+                  profile: str = "commodity",
+                  pack_backlog_seconds: float = 0.2,
+                  admission_limit_seconds: Optional[float] = None,
+                  target_utilization: float = 0.55,
+                  epoch_seconds: float = 30.0,
+                  min_nodes: int = 2,
+                  seed: int = 0) -> Any:
+    """Serve one generated multi-tenant stream under one policy.
+
+    The node power curve is calibrated from the named hardware
+    ``profile`` (idle/peak watts read off the metered server model), so
+    fleet Joules are in the same currency as every single-node
+    experiment.
+    """
+    model = NodePowerModel.from_server(profile)
+    stream = build_stream(queries, seed=seed)
+    kwargs: dict[str, Any] = {
+        "admission_limit_seconds": admission_limit_seconds}
+    if policy == "power_aware":
+        kwargs["pack_backlog_seconds"] = pack_backlog_seconds
+    dispatch = make_policy(policy, **kwargs)
+    autoscaler = Autoscaler(
+        model,
+        epoch_seconds=epoch_seconds,
+        target_utilization=target_utilization,
+        min_nodes=min_nodes,
+    ) if dispatch.autoscaled else None
+    return simulate_service(stream, n_nodes=nodes, policy=dispatch,
+                            model=model, autoscaler=autoscaler)
+
+
+def svc_aggregate(points: Sequence[Any]) -> ServiceSweepResult:
+    """Fold a finished policy sweep into one comparable result."""
+    return ServiceSweepResult(reports=[p.report for p in points])

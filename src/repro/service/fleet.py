@@ -1,0 +1,238 @@
+"""The fleet simulator: millions of queries against a node cluster.
+
+:func:`simulate_service` plays an :class:`~repro.service.workload.
+ArrivalStream` against ``n_nodes`` :class:`~repro.service.node.
+FleetNode` pipes under a :class:`~repro.service.dispatch.
+DispatchPolicy`, with the :class:`~repro.service.autoscale.Autoscaler`
+stepping at epoch boundaries for policies that want it.  Everything is
+closed-form: nodes are FCFS single pipes (``busy_until`` floats), so
+one pass over the time-ordered arrivals yields exact waits, and energy
+follows from the utilization-linear power identity in
+:mod:`repro.service.node`.  That is what fits 10^6 queries in seconds
+— the discrete-event engine stays out of the per-query path.
+
+Telemetry is mirrored, not sacrificed: when a
+:func:`repro.telemetry.capture` collector is installed, the fleet
+builds one real :class:`~repro.sim.Simulation` +
+:class:`~repro.hardware.meter.EnergyMeter` + one
+:class:`~repro.hardware.device.Device` per node, replays every power
+transition into the device step functions, and opens a root
+:class:`~repro.telemetry.spans.EnergySpan` per powered-on interval per
+node — so ``python -m repro.runner trace svc_policies`` shows the same
+per-node timelines and Joules any metered experiment would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.service.autoscale import Autoscaler
+from repro.service.dispatch import DispatchPolicy, make_policy
+from repro.service.node import FleetNode, NodePowerModel
+from repro.service.report import (ServiceError, ServiceReport, TenantStats,
+                                  quantile)
+from repro.service.workload import ArrivalStream
+
+
+class _TelemetryMirror:
+    """Replays fleet power transitions into real metered devices.
+
+    Per-node transitions are time-ordered (a FCFS pipe starts queries
+    in dispatch order), so each device's power step function is
+    recorded directly; the shared clock only advances once, at
+    :meth:`finish`, to the fleet's end time.
+    """
+
+    def __init__(self, collector, n_nodes: int,
+                 model: NodePowerModel, start_on: bool) -> None:
+        from repro.hardware.device import Device
+        from repro.hardware.meter import EnergyMeter
+        from repro.sim import Simulation
+
+        self.collector = collector
+        self.sim = Simulation()
+        self.meter = EnergyMeter(self.sim)  # self-registers while captured
+        self.devices = []
+        self.model = model
+        self._spans: list = [None] * n_nodes
+        for i in range(n_nodes):
+            device = Device(self.sim, f"svc.node{i:03d}",
+                            initial_power_watts=(model.idle_watts
+                                                 if start_on else 0.0))
+            self.meter.attach(device)
+            self.devices.append(device)
+            if start_on:
+                self._spans[i] = collector.stack.open(
+                    f"svc.node{i:03d}.on", 0.0, {}, root=True)
+
+    def serve(self, i: int, start: float, end: float) -> None:
+        series = self.devices[i].power_series
+        series.record(start, self.model.peak_watts)
+        series.record(end, self.model.idle_watts)
+
+    def power_on(self, i: int, now: float) -> None:
+        model = self.model
+        series = self.devices[i].power_series
+        boot_watts = (model.boot_joules / model.boot_seconds
+                      if model.boot_seconds > 0 else 0.0)
+        series.record(now, boot_watts)
+        series.record(now + model.boot_seconds, model.idle_watts)
+        self._spans[i] = self.collector.stack.open(
+            f"{self.devices[i].name}.on", now, {}, root=True)
+        self.collector.count("svc.boots")
+
+    def power_off(self, i: int, now: float) -> None:
+        model = self.model
+        series = self.devices[i].power_series
+        drain_watts = (model.drain_joules / model.drain_seconds
+                       if model.drain_seconds > 0 else 0.0)
+        series.record(now, drain_watts)
+        series.record(now + model.drain_seconds, 0.0)
+        span = self._spans[i]
+        if span is not None:
+            self.collector.stack.close(span, now, {})
+            self._spans[i] = None
+
+    def finish(self, end: float, report: ServiceReport) -> None:
+        self.sim.clock.advance_to(max(end, self.sim.now))
+        for i, span in enumerate(self._spans):
+            if span is not None:
+                self.collector.stack.close(span, end, {})
+                self._spans[i] = None
+        self.collector.count("svc.queries_completed",
+                             report.queries_completed)
+        self.collector.count("svc.queries_rejected",
+                             report.queries_rejected)
+
+
+def simulate_service(stream: ArrivalStream,
+                     n_nodes: int = 16,
+                     policy: DispatchPolicy | str = "power_aware",
+                     model: Optional[NodePowerModel] = None,
+                     autoscaler: Optional[Autoscaler] = None,
+                     **policy_kwargs) -> ServiceReport:
+    """Serve ``stream`` on an ``n_nodes`` fleet; returns the report.
+
+    ``policy`` may be a registered name or a ready
+    :class:`DispatchPolicy`.  An ``autoscaler`` is only engaged when
+    the policy declares ``autoscaled`` (packing); the all-on baselines
+    keep the whole fleet powered, which is exactly the §2.4
+    non-proportionality problem the packing policy exists to fix.
+    """
+    if n_nodes < 1:
+        raise ServiceError("need at least one node")
+    if len(stream) == 0:
+        raise ServiceError("empty arrival stream")
+    if model is None:
+        model = NodePowerModel.from_server("commodity")
+    policy = make_policy(policy, **policy_kwargs)
+    if policy.autoscaled and autoscaler is None:
+        autoscaler = Autoscaler(model)
+    if not policy.autoscaled:
+        autoscaler = None
+
+    nodes = [FleetNode(f"node{i:03d}", model, on=True)
+             for i in range(n_nodes)]
+    on_ids = list(range(n_nodes))
+
+    from repro.telemetry import current_collector
+    collector = current_collector()
+    mirror = (None if collector is None else
+              _TelemetryMirror(collector, n_nodes, model, start_on=True))
+
+    times = stream.times.tolist()
+    services = stream.service_seconds.tolist()
+    tenant_idx = stream.tenant_index
+    n = len(times)
+    latencies = np.empty(n)
+    admitted = np.ones(n, dtype=bool)
+
+    epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
+    next_epoch = epoch if autoscaler is not None else float("inf")
+
+    last_completion = 0.0
+    for k in range(n):
+        t = times[k]
+        while t >= next_epoch:
+            autoscaler.step(next_epoch, nodes, on_ids)
+            next_epoch += epoch
+            if mirror is not None:
+                _mirror_power_state(mirror, nodes)
+        s = services[k]
+        if autoscaler is not None:
+            autoscaler.observe(s)
+        i = policy.select(nodes, on_ids, t, s)
+        node = nodes[i]
+        if not policy.admits(node, t):
+            admitted[k] = False
+            latencies[k] = np.nan
+            continue
+        start = node.busy_until if node.busy_until > t else t
+        latencies[k] = node.serve(t, s)
+        if node.busy_until > last_completion:
+            last_completion = node.busy_until
+        if mirror is not None:
+            mirror.serve(i, start, node.busy_until)
+
+    end = max(last_completion, times[-1])
+    node_stats = [node.finalize(end) for node in nodes]
+
+    lat = latencies[admitted]
+    if lat.size == 0:
+        raise ServiceError("policy admitted no queries")
+    p50, p95, p99 = np.quantile(lat, [0.50, 0.95, 0.99])
+    tenants = []
+    for ti, tenant in enumerate(stream.tenants):
+        mask = tenant_idx == ti
+        t_lat = np.sort(latencies[mask & admitted])
+        t_rejected = int((mask & ~admitted).sum())
+        if t_lat.size == 0:
+            raise ServiceError(
+                f"tenant {tenant.name!r} completed no queries")
+        samples = t_lat.tolist()
+        tenants.append(TenantStats(
+            tenant=tenant.name,
+            completed=int(t_lat.size),
+            rejected=t_rejected,
+            mean_latency_seconds=float(t_lat.mean()),
+            p50_latency_seconds=quantile(samples, 0.50),
+            p95_latency_seconds=quantile(samples, 0.95),
+            p99_latency_seconds=quantile(samples, 0.99),
+            sla_p95_seconds=tenant.sla_p95_seconds,
+        ))
+
+    report = ServiceReport(
+        policy=policy.name,
+        n_nodes=n_nodes,
+        queries_offered=n,
+        queries_completed=int(admitted.sum()),
+        queries_rejected=int((~admitted).sum()),
+        makespan_seconds=end,
+        energy_joules=sum(s.energy_joules for s in node_stats),
+        p50_latency_seconds=float(p50),
+        p95_latency_seconds=float(p95),
+        p99_latency_seconds=float(p99),
+        mean_latency_seconds=float(lat.mean()),
+        node_seconds_on=sum(s.on_seconds for s in node_stats),
+        tenants=tenants,
+        nodes=node_stats,
+    )
+    if mirror is not None:
+        mirror.finish(end, report)
+    return report
+
+
+def _mirror_power_state(mirror: _TelemetryMirror,
+                        nodes: Sequence[FleetNode]) -> None:
+    """Propagate autoscaler on/off flips into the mirror devices."""
+    for i, node in enumerate(nodes):
+        span_open = mirror._spans[i] is not None
+        if node.on and not span_open:
+            # power_on happened this epoch step, at node.on_since
+            mirror.power_on(i, node.on_since)
+        elif not node.on and span_open:
+            # power_off left busy_until at off-time + drain window
+            mirror.power_off(
+                i, node.busy_until - node.model.drain_seconds)

@@ -1,0 +1,166 @@
+"""Micro fleet: dispatch policies over *real* executors.
+
+The analytic fleet in :mod:`repro.service.fleet` prices time and energy
+in closed form; this module is its ground-truth companion.  A micro
+fleet is a handful of fully-simulated
+:class:`~repro.hardware.server.Server` nodes, each holding a byte-
+identical replica of the dataset behind its own
+:class:`~repro.relational.executor.Executor`, sharing one discrete-
+event :class:`~repro.sim.Simulation`.  Arrivals route through the
+*same* :class:`~repro.service.dispatch.DispatchPolicy` objects the
+analytic fleet uses (estimator :class:`~repro.service.node.FleetNode`
+pipes track backlogs), then every query genuinely executes — rows come
+back from whichever replica served it.
+
+That is the contract the property tests pin down: dispatch is a
+placement decision, never a semantic one, so every policy must return
+byte-identical result sets for the same arrival stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.relational.executor import ExecutionContext, Executor
+from repro.relational.operators import TableScan
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.service.dispatch import DispatchPolicy, make_policy
+from repro.service.node import FleetNode, NodePowerModel
+from repro.service.report import ServiceError
+from repro.service.workload import (ArrivalStream, QueryClass, Tenant,
+                                    build_stream)
+from repro.sim import Simulation
+from repro.storage.manager import StorageManager
+
+#: the micro workload's two query shapes: a cheap scan of the small
+#: table and a heavier scan of the wide one
+MICRO_CLASSES = (QueryClass("small", 0.05), QueryClass("wide", 0.30))
+
+MICRO_TENANT = Tenant("micro", rate_per_s=1.0, sla_p95_seconds=60.0,
+                      mix=(("small", 0.6), ("wide", 0.4)))
+
+
+@dataclass
+class MicroFleetResult:
+    """Per-arrival outcomes of one micro-fleet run."""
+
+    policy: str
+    #: node index that served each arrival (-1: rejected)
+    assigned_node: list[int]
+    #: serialized result rows per arrival (None: rejected)
+    result_bytes: list[Optional[bytes]]
+    #: measured latency per arrival (nan: rejected)
+    latencies: list[float]
+    energy_joules: float
+    makespan_seconds: float
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for b in self.result_bytes if b is not None)
+
+
+def _serialize(rows: list[tuple]) -> bytes:
+    return "\n".join(repr(r) for r in rows).encode()
+
+
+class _MicroNode:
+    """One replica: a simulated server, its tables, and an executor."""
+
+    def __init__(self, sim: Simulation, index: int, rows: int,
+                 scale: float) -> None:
+        from repro.hardware.profiles import commodity
+        self.server, array = commodity(sim)
+        storage = StorageManager(sim)
+        schema = [Column("k", DataType.INT64, nullable=False),
+                  Column("v", DataType.INT64, nullable=False)]
+        self.tables = {}
+        for name, n in (("small", max(1, rows // 4)), ("wide", rows)):
+            table = storage.create_table(
+                TableSchema(f"{name}", schema), layout="row",
+                placement=array)
+            # identical content on every node: replicas, not shards
+            table.load([(i, (i * 7919) % n) for i in range(n)])
+            self.tables[name] = table
+        self.executor = Executor(ExecutionContext(
+            sim=sim, server=self.server, scale=scale))
+
+    def build(self, query_class: str) -> TableScan:
+        return TableScan(self.tables[query_class])
+
+
+def run_micro_fleet(policy: DispatchPolicy | str = "round_robin",
+                    n_nodes: int = 2,
+                    queries: int = 8,
+                    rows: int = 64,
+                    scale: float = 50.0,
+                    stream: Optional[ArrivalStream] = None,
+                    seed: int = 0,
+                    **policy_kwargs) -> MicroFleetResult:
+    """Serve a small stream on fully-simulated replicas.
+
+    Dispatch decisions use estimator pipes fed by the stream's nominal
+    service times; execution is the real thing — every admitted query
+    runs through an :class:`Executor` and returns its rows.
+    """
+    if n_nodes < 1:
+        raise ServiceError("need at least one node")
+    if stream is None:
+        stream = build_stream(queries, tenants=(MICRO_TENANT,),
+                              classes=MICRO_CLASSES, seed=seed)
+    policy = make_policy(policy, **policy_kwargs)
+
+    sim = Simulation()
+    micro_nodes = [_MicroNode(sim, i, rows, scale)
+                   for i in range(n_nodes)]
+    model = NodePowerModel(name="estimator", idle_watts=1.0,
+                           peak_watts=2.0, boot_seconds=0.0,
+                           boot_joules=0.0, drain_seconds=0.0,
+                           drain_joules=0.0)
+    estimators = [FleetNode(f"est{i}", model, on=True)
+                  for i in range(n_nodes)]
+    on_ids = list(range(n_nodes))
+
+    n = len(stream)
+    assigned: list[list[tuple[int, float, str]]] = [[] for _ in
+                                                    range(n_nodes)]
+    assigned_node = [-1] * n
+    for k in range(n):
+        t = float(stream.times[k])
+        s = float(stream.service_seconds[k])
+        i = policy.select(estimators, on_ids, t, s)
+        if not policy.admits(estimators[i], t):
+            continue
+        estimators[i].serve(t, s)
+        name = stream.classes[int(stream.class_index[k])].name
+        assigned[i].append((k, t, name))
+        assigned_node[k] = i
+
+    result_bytes: list[Optional[bytes]] = [None] * n
+    latencies = [float("nan")] * n
+
+    def worker(i: int):
+        node = micro_nodes[i]
+        for k, at, name in assigned[i]:
+            if sim.now < at:
+                yield sim.timeout(at - sim.now)
+            result = yield from node.executor.run_process(node.build(name))
+            result_bytes[k] = _serialize(result.rows)
+            latencies[k] = sim.now - at
+
+    workers = [sim.spawn(worker(i), name=f"micro-node{i}")
+               for i in range(n_nodes) if assigned[i]]
+    if workers:
+        sim.run(until=sim.all_of(workers))
+    end = sim.now
+    energy = sum(node.server.meter.energy_joules(0.0, end)
+                 for node in micro_nodes)
+    return MicroFleetResult(
+        policy=policy.name,
+        assigned_node=assigned_node,
+        result_bytes=result_bytes,
+        latencies=latencies,
+        energy_joules=energy,
+        makespan_seconds=end,
+    )

@@ -1,0 +1,273 @@
+"""Serving results: per-tenant SLA outcomes plus fleet energy.
+
+A :class:`ServiceReport` is the serving analogue of
+:class:`~repro.workloads.throughput.ThroughputReport`: one dispatch
+policy's outcome over an open-loop arrival stream, carrying the
+fleet-level energy, the per-tenant latency quantiles the SLA is written
+against, and per-node utilization so the consolidation story ("idle
+nodes sleep") is visible in the numbers.  It speaks the unified report
+protocol — ``to_dict``/``from_dict`` invert exactly — so serving sweeps
+cache, pool, and serialize like every other experiment.
+
+:class:`ServiceSweepResult` is the figure-level container a policy
+sweep aggregates into: the cluster-scale analogue of Figure 1's
+"fastest vs. most efficient" framing, comparing Joules/query at equal
+SLA across dispatch policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.metrics import energy_efficiency
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Fleet-serving configuration or bookkeeping failure."""
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """The ``q``-quantile of an ascending list (linear interpolation).
+
+    Raises on an empty list — an SLA over zero completions is
+    undefined, consistently with :mod:`repro.core.metrics`.
+    """
+    if not sorted_values:
+        raise ServiceError("no samples: quantile of an empty run")
+    if not 0.0 <= q <= 1.0:
+        raise ServiceError(f"quantile {q} out of [0, 1]")
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class TenantStats:
+    """One tenant's SLA ledger for a serving run."""
+
+    tenant: str
+    completed: int
+    rejected: int
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p95_latency_seconds: float
+    p99_latency_seconds: float
+    sla_p95_seconds: float
+
+    @property
+    def sla_met(self) -> bool:
+        return self.p95_latency_seconds <= self.sla_p95_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p95_latency_seconds": self.p95_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "sla_p95_seconds": self.sla_p95_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantStats":
+        return cls(**dict(data))
+
+
+@dataclass
+class NodeStats:
+    """One node's duty ledger: how long it was up, busy, and booting."""
+
+    node: str
+    completed: int
+    on_seconds: float
+    busy_seconds: float
+    energy_joules: float
+    boots: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of powered-on time (0 for a never-on node)."""
+        if self.on_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / self.on_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "completed": self.completed,
+            "on_seconds": self.on_seconds,
+            "busy_seconds": self.busy_seconds,
+            "energy_joules": self.energy_joules,
+            "boots": self.boots,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeStats":
+        return cls(**dict(data))
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of serving one arrival stream under one dispatch policy."""
+
+    policy: str
+    n_nodes: int
+    queries_offered: int
+    queries_completed: int
+    queries_rejected: int
+    makespan_seconds: float
+    energy_joules: float
+    p50_latency_seconds: float
+    p95_latency_seconds: float
+    p99_latency_seconds: float
+    mean_latency_seconds: float
+    node_seconds_on: float
+    tenants: list[TenantStats] = field(default_factory=list)
+    nodes: list[NodeStats] = field(default_factory=list)
+
+    # -- derived metrics (empty runs raise, like core.metrics) --------
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Queries per Joule (§2.1 applied at fleet scale)."""
+        return energy_efficiency(float(self.queries_completed),
+                                 self.energy_joules)
+
+    @property
+    def joules_per_query(self) -> float:
+        """The headline serving metric: energy per completed query."""
+        if self.queries_completed <= 0:
+            raise ServiceError("no queries completed: Joules/query "
+                               "undefined")
+        return self.energy_joules / self.queries_completed
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.makespan_seconds <= 0:
+            raise ServiceError("empty run: average power undefined")
+        return self.energy_joules / self.makespan_seconds
+
+    @property
+    def average_active_nodes(self) -> float:
+        """Time-averaged powered-on node count."""
+        if self.makespan_seconds <= 0:
+            raise ServiceError("empty run: active-node average undefined")
+        return self.node_seconds_on / self.makespan_seconds
+
+    @property
+    def slas_met(self) -> bool:
+        """True when every tenant's p95 target held."""
+        return all(t.sla_met for t in self.tenants)
+
+    def tenant(self, name: str) -> TenantStats:
+        for stats in self.tenants:
+            if stats.tenant == name:
+                return stats
+        raise ServiceError(f"report has no tenant {name!r}")
+
+    def rows(self) -> list[tuple]:
+        """Per-tenant SLA rows for the table printers."""
+        return [
+            (t.tenant, t.completed, t.rejected,
+             t.p95_latency_seconds, t.sla_p95_seconds,
+             "met" if t.sla_met else "MISSED")
+            for t in self.tenants
+        ]
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n_nodes": self.n_nodes,
+            "queries_offered": self.queries_offered,
+            "queries_completed": self.queries_completed,
+            "queries_rejected": self.queries_rejected,
+            "makespan_seconds": self.makespan_seconds,
+            "energy_joules": self.energy_joules,
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p95_latency_seconds": self.p95_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "node_seconds_on": self.node_seconds_on,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceReport":
+        payload = dict(data)
+        payload["tenants"] = [TenantStats.from_dict(t)
+                              for t in data.get("tenants", [])]
+        payload["nodes"] = [NodeStats.from_dict(n)
+                            for n in data.get("nodes", [])]
+        return cls(**payload)
+
+
+@dataclass
+class ServiceSweepResult:
+    """A policy sweep folded into one comparable result.
+
+    The serving analogue of :class:`~repro.core.experiments.Figure1Result`:
+    instead of disk counts, the axis is the dispatch policy, and the
+    paper's "diminishing returns" reading becomes "equal SLA, fewer
+    Joules" — consolidation in space at cluster scale (§4.2, [TWM+08]).
+    """
+
+    reports: list[ServiceReport]
+
+    def policies(self) -> list[str]:
+        return [r.policy for r in self.reports]
+
+    def report(self, policy: str) -> ServiceReport:
+        for r in self.reports:
+            if r.policy == policy:
+                return r
+        raise ServiceError(f"sweep has no policy {policy!r}; "
+                           f"ran: {', '.join(self.policies())}")
+
+    def savings_vs(self, policy: str, baseline: str) -> float:
+        """Fractional Joules/query saving of ``policy`` over ``baseline``."""
+        base = self.report(baseline).joules_per_query
+        return 1.0 - self.report(policy).joules_per_query / base
+
+    def headline(self) -> dict[str, float]:
+        """The acceptance numbers: packing vs. round-robin.
+
+        Returns the Joules/query of both policies, the fractional
+        saving, and both p95s (packing must not be worse to claim the
+        paper's consolidation story at equal SLA).
+        """
+        packing = self.report("power_aware")
+        rr = self.report("round_robin")
+        return {
+            "power_aware_joules_per_query": packing.joules_per_query,
+            "round_robin_joules_per_query": rr.joules_per_query,
+            "savings_fraction": self.savings_vs("power_aware",
+                                                "round_robin"),
+            "power_aware_p95_seconds": packing.p95_latency_seconds,
+            "round_robin_p95_seconds": rr.p95_latency_seconds,
+        }
+
+    def rows(self) -> list[tuple]:
+        """Paper-style rows: policy, J/query, p95, avg nodes on."""
+        return [
+            (r.policy, r.queries_completed, r.joules_per_query,
+             r.p95_latency_seconds, r.average_active_nodes,
+             "met" if r.slas_met else "MISSED")
+            for r in self.reports
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"reports": [r.to_dict() for r in self.reports]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceSweepResult":
+        return cls(reports=[ServiceReport.from_dict(r)
+                            for r in data.get("reports", [])])

@@ -1,5 +1,9 @@
 """Workloads: TPC-H-style data/queries and the paper's two experiments'
 drivers (throughput test, compressed-scan microbenchmark, OLTP stream).
+
+The v1 drivers (``run_throughput_test``, ``run_scan_experiment``) are
+deprecated shims over the spec API; they resolve lazily (PEP 562) so
+importing this package never touches them, and they warn on use.
 """
 
 from repro.workloads.tpch_schema import (
@@ -16,18 +20,18 @@ from repro.workloads.tpch_queries import (
     q10_spec,
     throughput_mix,
 )
-from repro.workloads.throughput import (
-    ThroughputReport,
-    run_throughput,
-    run_throughput_test,
-)
-from repro.workloads.scan_workload import (
-    ScanReport,
-    run_scan,
-    run_scan_experiment,
-)
+from repro.workloads.throughput import ThroughputReport, run_throughput
+from repro.workloads.scan_workload import ScanReport, run_scan
 from repro.workloads.duty_cycle import DutyCycleReport, run_duty_cycle
 from repro.workloads.oltp import OltpReport, run_oltp_stream
+
+#: deprecated v1 drivers, resolved lazily on attribute access
+_DEPRECATED_SHIMS = {
+    "run_scan_experiment": ("repro.workloads.scan_workload",
+                            "run_scan_experiment"),
+    "run_throughput_test": ("repro.workloads.throughput",
+                            "run_throughput_test"),
+}
 
 __all__ = [
     "ORDERS_SCAN_COLUMNS",
@@ -52,3 +56,15 @@ __all__ = [
     "throughput_mix",
     "tpch_schemas",
 ]
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_SHIMS:
+        import importlib
+        module_name, attr = _DEPRECATED_SHIMS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_SHIMS))
