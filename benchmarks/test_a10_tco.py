@@ -13,10 +13,10 @@ box; past a crossover price the scale-out option wins, exactly the
 §5.3 prediction.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_once, run_spec
 
-from repro.core.experiments import run_figure1
 from repro.core.metrics import TcoModel
+from repro.runner import ExperimentSpec
 
 PRICES = [0.02, 0.05, 0.10, 0.20, 0.40, 0.80, 1.60]
 CHASSIS_DOLLARS = 90_000.0     # 8-socket DL785-class tray
@@ -24,7 +24,9 @@ DISK_DOLLARS = 350.0           # one 15K SCSI spindle + tray share
 
 
 def measure():
-    result = run_figure1(disk_counts=(66, 204))
+    spec = ExperimentSpec("fig1", knobs={"disks": [66, 204]},
+                          profile="dl785")
+    result = run_spec(spec).aggregate()
     eff, fast = result.reports
     options = {
         "1x 204-disk (waste energy)": {

@@ -8,13 +8,14 @@ energy consumption increases."
 """
 
 import pytest
-from conftest import emit, run_once
+from conftest import emit, run_once, run_spec
 
-from repro.core.experiments import run_figure2
+from repro.runner import ExperimentSpec
 
 
 def test_figure2_scan_compression(benchmark):
-    result = run_once(benchmark, lambda: run_figure2())
+    spec = ExperimentSpec("fig2", profile="flash_scan_node")
+    result = run_once(benchmark, lambda: run_spec(spec)).aggregate()
     rows = [(config, round(total, 2), round(cpu, 2), round(joules, 0))
             for config, total, cpu, joules in result.rows()]
     emit(benchmark,

@@ -27,12 +27,14 @@ imports them.
 
 from repro.consolidation.scheduler import ScheduleReport
 from repro.core.metrics import energy_efficiency, perf_per_watt
+from repro.faults import (FaultSchedule, RetryPolicy, ShedPolicy,
+                          build_fault_schedule, simulate_faulty_service)
 from repro.relational.executor import ExecutionContext, Executor, QueryResult
 from repro.runner import ExperimentSpec, Runner, RunResult
 from repro.service.report import ServiceReport, ServiceSweepResult
 from repro.sim import Simulation
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: deprecated v1 entry points, resolved lazily (PEP 562) so importing
 #: :mod:`repro` never touches them — they warn only when actually used
@@ -45,15 +47,20 @@ __all__ = [
     "ExecutionContext",
     "Executor",
     "ExperimentSpec",
+    "FaultSchedule",
     "QueryResult",
+    "RetryPolicy",
     "RunResult",
     "Runner",
     "ScheduleReport",
     "ServiceReport",
     "ServiceSweepResult",
+    "ShedPolicy",
     "Simulation",
+    "build_fault_schedule",
     "energy_efficiency",
     "perf_per_watt",
+    "simulate_faulty_service",
     "run_figure1",
     "run_figure2",
 ]

@@ -1,0 +1,49 @@
+"""repro.faults: deterministic fault injection & graceful degradation.
+
+The chaos layer of the reproduction: seeded, reproducible fault
+schedules (node crashes, thermal throttling, RAID-group disk failures,
+dispatch-timeout windows) played against the fleet-serving simulator,
+with retry-with-backoff, per-tenant admission shedding, and
+break-even-priced emergency boots as the degradation machinery.  The
+operator-facing story lives in OPERATIONS.md at the repo root.
+
+Quick start::
+
+    from repro.faults import build_fault_schedule, simulate_faulty_service
+    from repro.service import build_stream
+
+    stream = build_stream(100_000, seed=0)
+    schedule = build_fault_schedule(16, stream.duration_seconds, seed=0)
+    report = simulate_faulty_service(stream, schedule, n_nodes=16)
+    print(report.availability, report.faults.crashes)
+
+or, the registered experiments::
+
+    python -m repro.runner run chaos_smoke
+    python -m repro.runner run chaos_frontier
+"""
+
+from repro.faults.engine import simulate_faulty_service
+from repro.faults.experiments import (ChaosSweepResult, chaos_aggregate,
+                                      chaos_point)
+from repro.faults.policies import RetryPolicy, ShedPolicy
+from repro.faults.schedule import (FAULT_KINDS, FaultError, FaultEvent,
+                                   FaultMix, FaultSchedule,
+                                   build_fault_schedule,
+                                   degraded_speed_factor)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosSweepResult",
+    "FaultError",
+    "FaultEvent",
+    "FaultMix",
+    "FaultSchedule",
+    "RetryPolicy",
+    "ShedPolicy",
+    "build_fault_schedule",
+    "chaos_aggregate",
+    "chaos_point",
+    "degraded_speed_factor",
+    "simulate_faulty_service",
+]

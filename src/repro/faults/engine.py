@@ -1,0 +1,504 @@
+"""The chaos engine: fleet serving under a deterministic fault plan.
+
+:func:`simulate_faulty_service` is the fault-tolerant sibling of
+:func:`repro.service.fleet.simulate_service`: the same closed-form
+FCFS pipes and utilization-linear energy identity, but arrivals now
+share the timeline with a :class:`~repro.faults.schedule.FaultSchedule`
+— node crashes, thermal throttling to a lower DVFS state, RAID-group
+disk failures, and transient dispatch-timeout windows.  The merged
+timeline is a single heap of (time, priority, sequence) events, so a
+chaos run is exactly as deterministic as a healthy one: same stream,
+same schedule, byte-identical report.
+
+Degradation is graceful, not silent.  A crash truncates the in-flight
+query at the crash instant, retracts everything queued behind it, and
+re-dispatches the destroyed work onto survivors under a
+:class:`~repro.faults.policies.RetryPolicy` (exponential backoff, a
+bounded attempt budget); a :class:`~repro.faults.policies.ShedPolicy`
+refuses arrivals that could no longer meet their tenant's SLA; the
+:class:`~repro.service.autoscale.Autoscaler` prices replacement boots
+at crash instants against its break-even rule.  Every arrival ends in
+exactly one bucket — completed, rejected, or crash-lost — and the
+:class:`~repro.service.report.FaultStats` ledger reconciles them.
+
+Telemetry keeps its exactness guarantee through every transition: the
+mirror replays truncated executions, zero-power crash gaps, and
+recovery boots into real metered devices, so the trace energy matches
+the closed form to the same 1e-9 relative tolerance as the healthy
+path.  Because a crash rewrites a node's recent history (queued work
+is retracted), mirror records are deferred: completions are emitted
+only once they are *settled* — confirmed to predate every later fault
+on their node.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.policies import RetryPolicy, ShedPolicy
+from repro.faults.schedule import FaultError, FaultSchedule
+from repro.service.autoscale import Autoscaler
+from repro.service.dispatch import DispatchPolicy, make_policy
+from repro.service.fleet import _TelemetryMirror, _mirror_power_state
+from repro.service.node import FleetNode, NodePowerModel
+from repro.service.report import (FaultStats, ServiceError, ServiceReport,
+                                  TenantStats, quantile)
+from repro.service.workload import ArrivalStream
+
+# arrival-state codes (per-query resolution ledger)
+_PENDING, _COMPLETED, _REJECTED, _LOST = 0, 1, 2, 3
+# heap priorities: faults and repairs rewrite the world the
+# re-dispatches then see, so they win ties
+_PRIO_FAULT, _PRIO_REDISPATCH = 0, 1
+_EMPTY: frozenset = frozenset()
+
+
+class _FaultMirror(_TelemetryMirror):
+    """The healthy mirror, taught about degraded power and crashes.
+
+    ``serve`` takes the busy draw explicitly (a throttled node runs
+    below peak), and ``crash`` drops the device to zero watts with no
+    drain rectangle — the node just stops drawing power.
+    """
+
+    def serve(self, i: int, start: float, end: float,  # type: ignore[override]
+              busy_watts: float) -> None:
+        series = self.devices[i].power_series
+        series.record(start, busy_watts)
+        series.record(end, self.model.idle_watts)
+
+    def crash(self, i: int, now: float) -> None:
+        self.devices[i].power_series.record(now, 0.0)
+        span = self._spans[i]
+        if span is not None:
+            self.collector.stack.close(span, now, {})
+            self._spans[i] = None
+
+    def sync(self, nodes) -> None:
+        _mirror_power_state(self, nodes)
+
+    def finish(self, end: float, report: ServiceReport) -> None:
+        super().finish(end, report)
+        faults = report.faults
+        if faults is not None:
+            for key, value in faults.to_dict().items():
+                if isinstance(value, int):
+                    self.collector.count(f"fault.{key}", value)
+
+
+def _merge_windows(windows: list[tuple[float, float]]) \
+        -> tuple[list[float], list[float]]:
+    """Union overlapping [start, end) windows; returns (starts, ends)
+    as parallel ascending lists for bisection."""
+    windows.sort()
+    starts: list[float] = []
+    ends: list[float] = []
+    for s, e in windows:
+        if starts and s <= ends[-1]:
+            if e > ends[-1]:
+                ends[-1] = e
+        else:
+            starts.append(s)
+            ends.append(e)
+    return starts, ends
+
+
+def simulate_faulty_service(stream: ArrivalStream,
+                            schedule: FaultSchedule,
+                            n_nodes: int = 16,
+                            policy: DispatchPolicy | str = "power_aware",
+                            model: Optional[NodePowerModel] = None,
+                            autoscaler: Optional[Autoscaler] = None,
+                            retry: Optional[RetryPolicy] = None,
+                            shed: Optional[ShedPolicy] = None,
+                            **policy_kwargs) -> ServiceReport:
+    """Serve ``stream`` on a fleet while ``schedule`` breaks it.
+
+    Semantics per fault kind:
+
+    * ``crash`` — the node loses power at the fault instant: the
+      in-flight query is destroyed mid-execution, the queue behind it
+      is retracted, no drain lump is paid, and the node is bootable
+      again only at crash + downtime.  Destroyed queries re-dispatch
+      onto survivors after ``retry`` backoff until the attempt budget
+      runs out (then they count as *lost*).  A crash that lands on an
+      already-down node is skipped; one that lands inside the atomic
+      boot window fires at the window's end.
+    * ``throttle`` — the node drops to DVFS fraction *f* for the
+      window: service times divide by *f*, busy power is
+      ``idle + (peak - idle) * f**3`` (the cubic dynamic-power rule of
+      :func:`repro.hardware.cpu.dvfs_power_watts`).  Overlapping
+      windows compound.
+    * ``disk`` — the node's RAID group runs degraded for the rebuild:
+      service times divide by the event severity (see
+      :func:`~repro.faults.schedule.degraded_speed_factor`); power is
+      unchanged.
+    * ``timeout`` — dispatch attempts routed to the node during the
+      window fail after ``retry.timeout_detect_seconds`` and re-route
+      to a survivor (degraded-mode dispatch); an arrival that burns
+      its whole attempt budget on timeouts is rejected.
+
+    The returned :class:`~repro.service.report.ServiceReport` carries a
+    :class:`~repro.service.report.FaultStats` ledger reconciling every
+    arrival: ``offered == completed + rejected + lost``, exactly.
+
+    >>> from repro.faults.schedule import FaultEvent, FaultSchedule
+    >>> from repro.service.workload import build_stream
+    >>> stream = build_stream(200, seed=1)
+    >>> crash = FaultEvent(kind="crash", node=0, start=1.0, duration=30.0)
+    >>> plan = FaultSchedule(n_nodes=4, horizon_seconds=60.0,
+    ...                      events=(crash,))
+    >>> report = simulate_faulty_service(stream, plan, n_nodes=4,
+    ...                                  policy="round_robin")
+    >>> report.faults.crashes
+    1
+    >>> report.queries_offered == (report.queries_completed
+    ...                            + report.queries_rejected
+    ...                            + report.queries_lost)
+    True
+    """
+    if n_nodes < 1:
+        raise ServiceError("need at least one node")
+    if len(stream) == 0:
+        raise ServiceError("empty arrival stream")
+    if schedule.n_nodes != n_nodes:
+        raise FaultError(
+            f"schedule covers {schedule.n_nodes} nodes but the fleet has "
+            f"{n_nodes}")
+    if model is None:
+        model = NodePowerModel.from_server("commodity")
+    policy = make_policy(policy, **policy_kwargs)
+    if policy.autoscaled and autoscaler is None:
+        autoscaler = Autoscaler(model)
+    if not policy.autoscaled:
+        autoscaler = None
+    if retry is None:
+        retry = RetryPolicy()
+
+    nodes = [FleetNode(f"node{i:03d}", model, on=True)
+             for i in range(n_nodes)]
+    on_ids = list(range(n_nodes))
+
+    from repro.telemetry import current_collector
+    collector = current_collector()
+    mirror = (None if collector is None else
+              _FaultMirror(collector, n_nodes, model, start_on=True))
+
+    times = stream.times.tolist()
+    services = stream.service_seconds.tolist()
+    tenant_idx = stream.tenant_index
+    sla_of = [t.sla_p95_seconds for t in stream.tenants]
+    n = len(times)
+    latencies = np.full(n, np.nan)
+    state = np.zeros(n, dtype=np.int8)
+    was_crashed = np.zeros(n, dtype=bool)
+    attempts = [0] * n
+
+    # -- per-node fault state -----------------------------------------
+    peak_minus_idle = model.peak_watts - model.idle_watts
+    throttle_active: list[list[float]] = [[] for _ in range(n_nodes)]
+    disk_active: list[list[float]] = [[] for _ in range(n_nodes)]
+    speed_mult = [1.0] * n_nodes
+    busy_watts = [model.idle_watts + peak_minus_idle] * n_nodes
+    #: unsettled executions per node: (k, start, end, scaled, watts)
+    pending: list[deque] = [deque() for _ in range(n_nodes)]
+
+    def recompute(i: int) -> None:
+        tf = 1.0
+        for f in throttle_active[i]:
+            tf *= f
+        df = 1.0
+        for f in disk_active[i]:
+            df *= f
+        speed_mult[i] = tf * df
+        busy_watts[i] = model.idle_watts + peak_minus_idle * tf ** 3
+
+    # -- the merged event timeline ------------------------------------
+    heap: list[tuple] = []
+    seq = 0
+
+    def push(at: float, prio: int, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (at, prio, seq, kind, payload))
+        seq += 1
+
+    stats = FaultStats()
+    crash_intervals: list[tuple[float, float]] = []
+    timeout_raw: list[list[tuple[float, float]]] = \
+        [[] for _ in range(n_nodes)]
+    for event in schedule.events:
+        if event.kind == "timeout":
+            timeout_raw[event.node].append((event.start, event.end))
+            stats.timeout_windows += 1
+        else:
+            push(event.start, _PRIO_FAULT, "fault", event)
+    timeout_windows = [_merge_windows(w) for w in timeout_raw]
+
+    def in_timeout(i: int, now: float) -> bool:
+        starts, ends = timeout_windows[i]
+        pos = bisect_right(starts, now) - 1
+        return pos >= 0 and now < ends[pos]
+
+    # -- settlement: confirm completions that predate later faults ----
+    last_completion = 0.0
+
+    def settle(i: int, upto: float) -> None:
+        q = pending[i]
+        while q and q[0][2] <= upto:
+            k, start, end, _scaled, watts = q.popleft()
+            latencies[k] = end - times[k]
+            state[k] = _COMPLETED
+            if mirror is not None:
+                mirror.serve(i, start, end, watts)
+
+    # -- dispatch (and re-dispatch) -----------------------------------
+    def dispatch(k: int, now: float, excluded: frozenset) -> None:
+        nonlocal last_completion
+        ids = (on_ids if not excluded
+               else [i for i in on_ids if i not in excluded])
+        if not ids and excluded:
+            # every survivor is excluded: forget the exclusions and
+            # spend attempts anywhere rather than stall
+            ids = on_ids
+        if not ids:
+            # total blackout: boot a repaired spare, else park the
+            # query until the earliest repair completes
+            spare = next((i for i in range(n_nodes)
+                          if not nodes[i].on
+                          and nodes[i].busy_until <= now), None)
+            if spare is None:
+                wake = min(nodes[i].busy_until for i in range(n_nodes))
+                push(wake, _PRIO_REDISPATCH, "redispatch", (k, _EMPTY))
+                return
+            nodes[spare].power_on(now)
+            on_ids.append(spare)
+            stats.emergency_boots += 1
+            if mirror is not None:
+                mirror.power_on(spare, now)
+            ids = on_ids
+        s = services[k]
+        i = policy.select(nodes, ids, now, s)
+        node = nodes[i]
+        attempts[k] += 1
+        if in_timeout(i, now):
+            stats.timeouts += 1
+            if retry.exhausted(attempts[k]):
+                state[k] = _REJECTED
+            else:
+                stats.retries += 1
+                delay = (retry.timeout_detect_seconds
+                         + retry.backoff_seconds(attempts[k]))
+                push(now + delay, _PRIO_REDISPATCH, "redispatch",
+                     (k, excluded | {i}))
+            return
+        if not policy.admits(node, now):
+            state[k] = _REJECTED
+            return
+        if shed is not None and shed.sheds(
+                node.backlog(now), s / (model.speed_factor * speed_mult[i]),
+                sla_of[int(tenant_idx[k])]):
+            state[k] = _REJECTED
+            stats.queries_shed += 1
+            return
+        start, end = node.serve_active(now, s, busy_watts[i], speed_mult[i])
+        pending[i].append((k, start, end, end - start, busy_watts[i]))
+        if end > last_completion:
+            last_completion = end
+
+    # -- fault application --------------------------------------------
+    def do_crash(i: int, now: float, downtime: float) -> None:
+        node = nodes[i]
+        if not node.on:
+            stats.faults_skipped += 1
+            return
+        if now < node.boot_until:
+            # the boot window is atomic: the lump is unsplittable, so
+            # a mid-boot crash fires the instant the boot completes
+            push(node.boot_until, _PRIO_FAULT, "crash_deferred",
+                 (i, downtime))
+            return
+        settle(i, now)
+        q = pending[i]
+        lost: list[int] = []
+        retract_busy = 0.0
+        retract_joules = 0.0
+        if q and q[0][1] < now:
+            # in-flight query: executed up to the crash, then destroyed
+            k0, s0, _e0, scaled0, w0 = q.popleft()
+            unexecuted = scaled0 - (now - s0)
+            retract_busy += unexecuted
+            retract_joules += (w0 - model.idle_watts) * unexecuted
+            lost.append(k0)
+            if mirror is not None:
+                mirror.serve(i, s0, now, w0)
+        while q:
+            k2, _s2, _e2, scaled2, w2 = q.popleft()
+            retract_busy += scaled2
+            retract_joules += (w2 - model.idle_watts) * scaled2
+            lost.append(k2)
+        node.retract(retract_busy, retract_joules, len(lost))
+        repair_at = now + downtime
+        node.crash(now, repair_at)
+        on_ids.remove(i)
+        stats.crashes += 1
+        crash_intervals.append((now, repair_at))
+        if mirror is not None:
+            mirror.crash(i, now)
+        push(repair_at, _PRIO_FAULT, "repair", i)
+        for k2 in lost:
+            was_crashed[k2] = True
+            if retry.exhausted(attempts[k2]):
+                state[k2] = _LOST
+            else:
+                stats.retries += 1
+                push(now + retry.backoff_seconds(attempts[k2]),
+                     _PRIO_REDISPATCH, "redispatch", (k2, _EMPTY))
+        if autoscaler is not None:
+            booted = autoscaler.emergency(now, nodes, on_ids, downtime)
+            if mirror is not None:
+                for b in booted:
+                    mirror.power_on(b, now)
+
+    def do_repair(i: int, now: float) -> None:
+        node = nodes[i]
+        stats.recoveries += 1
+        if node.on:
+            return
+        if autoscaler is None or not on_ids:
+            # all-on fleets restore their node count; an autoscaled
+            # fleet leaves the repaired node parked as a spare (unless
+            # the fleet has gone dark, which liveness can't wait out)
+            if node.busy_until <= now:
+                node.power_on(now)
+                on_ids.append(i)
+                on_ids.sort()
+                if mirror is not None:
+                    mirror.power_on(i, now)
+
+    # -- the run -------------------------------------------------------
+    epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
+    next_epoch = epoch if autoscaler is not None else float("inf")
+    # epochs stop with the workload (legacy semantics): late fault and
+    # repair events must not keep the autoscaler power-cycling a fleet
+    # that has nothing left to serve
+    last_arrival = times[-1]
+    k_next = 0
+    while k_next < n or heap:
+        if heap and (k_next >= n or heap[0][0] <= times[k_next]):
+            t, _prio, _seq, kind, payload = heapq.heappop(heap)
+        else:
+            t, kind, payload = times[k_next], "arrival", k_next
+            k_next += 1
+        while t >= next_epoch and next_epoch <= last_arrival:
+            for i in list(on_ids):
+                settle(i, next_epoch)
+            autoscaler.step(next_epoch, nodes, on_ids)
+            if mirror is not None:
+                mirror.sync(nodes)
+            next_epoch += epoch
+        if kind == "arrival":
+            if autoscaler is not None:
+                autoscaler.observe(services[payload])
+            dispatch(payload, t, _EMPTY)
+        elif kind == "redispatch":
+            k, excluded = payload
+            dispatch(k, t, excluded)
+        elif kind == "fault":
+            event = payload
+            if event.kind == "crash":
+                do_crash(event.node, t, event.duration)
+            elif event.kind == "throttle":
+                throttle_active[event.node].append(event.severity)
+                recompute(event.node)
+                stats.throttle_windows += 1
+                push(event.end, _PRIO_FAULT, "fault_end",
+                     ("throttle", event.node, event.severity))
+            else:  # disk
+                disk_active[event.node].append(event.severity)
+                recompute(event.node)
+                stats.disk_failures += 1
+                push(event.end, _PRIO_FAULT, "fault_end",
+                     ("disk", event.node, event.severity))
+        elif kind == "fault_end":
+            which, i, severity = payload
+            lanes = throttle_active if which == "throttle" else disk_active
+            lanes[i].remove(severity)
+            recompute(i)
+        elif kind == "crash_deferred":
+            i, downtime = payload
+            do_crash(i, t, downtime)
+        else:  # repair
+            do_repair(payload, t)
+
+    # -- close the books ----------------------------------------------
+    end = max(last_completion, times[-1])
+    for node in nodes:
+        if node.on and node.busy_until > end:
+            end = node.busy_until
+    for i in range(n_nodes):
+        settle(i, end)
+    if int((state == _PENDING).sum()):  # pragma: no cover - invariant
+        raise FaultError("internal: arrivals left unresolved")
+    node_stats = [node.finalize(end) for node in nodes]
+
+    completed = state == _COMPLETED
+    rejected = state == _REJECTED
+    crash_lost = state == _LOST
+    stats.queries_lost = int(crash_lost.sum())
+    stats.queries_recovered = int((was_crashed & completed).sum())
+    stats.emergency_boots += (autoscaler.emergency_boots
+                              if autoscaler is not None else 0)
+    stats.node_seconds_lost = sum(
+        max(0.0, min(repair, end) - crashed)
+        for crashed, repair in crash_intervals)
+    stats.downtime_fraction = (stats.node_seconds_lost / (n_nodes * end)
+                               if end > 0 else 0.0)
+
+    lat = latencies[completed]
+    if lat.size:
+        p50, p95, p99 = np.quantile(lat, [0.50, 0.95, 0.99])
+        mean = float(lat.mean())
+    else:
+        p50 = p95 = p99 = mean = 0.0
+    tenants = []
+    for ti, tenant in enumerate(stream.tenants):
+        mask = tenant_idx == ti
+        t_lat = np.sort(latencies[mask & completed])
+        samples = t_lat.tolist()
+        tenants.append(TenantStats(
+            tenant=tenant.name,
+            completed=int(t_lat.size),
+            rejected=int((mask & rejected).sum()),
+            crashed=int((mask & crash_lost).sum()),
+            mean_latency_seconds=float(t_lat.mean()) if samples else 0.0,
+            p50_latency_seconds=quantile(samples, 0.50) if samples else 0.0,
+            p95_latency_seconds=quantile(samples, 0.95) if samples else 0.0,
+            p99_latency_seconds=quantile(samples, 0.99) if samples else 0.0,
+            sla_p95_seconds=tenant.sla_p95_seconds,
+        ))
+
+    report = ServiceReport(
+        policy=policy.name,
+        n_nodes=n_nodes,
+        queries_offered=n,
+        queries_completed=int(completed.sum()),
+        queries_rejected=int(rejected.sum()),
+        makespan_seconds=end,
+        energy_joules=sum(s.energy_joules for s in node_stats),
+        p50_latency_seconds=float(p50),
+        p95_latency_seconds=float(p95),
+        p99_latency_seconds=float(p99),
+        mean_latency_seconds=mean,
+        node_seconds_on=sum(s.on_seconds for s in node_stats),
+        tenants=tenants,
+        nodes=node_stats,
+        faults=stats,
+    )
+    if mirror is not None:
+        mirror.finish(end, report)
+    return report

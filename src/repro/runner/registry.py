@@ -121,9 +121,15 @@ def _svc_aggregate(points: Sequence["PointResult"]) -> Any:
     return svc_aggregate(points)
 
 
+def _chaos_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.faults.experiments import chaos_aggregate
+    return chaos_aggregate(points)
+
+
 def _register_builtin_experiments() -> None:
     from repro.consolidation.experiments import batching_point
     from repro.core.experiments import figure1_point, figure2_point
+    from repro.faults.experiments import chaos_point
     from repro.hardware.profiles import FIG1_DISK_COUNTS
     from repro.service.experiments import service_point
     from repro.workloads.duty_cycle import run_duty_cycle
@@ -234,6 +240,53 @@ def _register_builtin_experiments() -> None:
             "nodes": [8, 16, 32, 64],
         },
         aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    _CHAOS_DEFAULTS = {
+        "policy": "power_aware",
+        "profile": "commodity",
+        "crash_rate_per_node_hour": 0.8,
+        "crash_downtime_seconds": 300.0,
+        "throttle_rate_per_node_hour": 0.3,
+        "throttle_dvfs_fraction": 0.7,
+        "disk_rate_per_node_hour": 0.1,
+        "raid_width": 8,
+        "timeout_rate_per_node_hour": 0.2,
+        "max_attempts": 4,
+        "base_backoff_seconds": 0.05,
+        "timeout_detect_seconds": 0.5,
+        "shed_slack_fraction": 0.5,
+        "pack_backlog_seconds": 0.2,
+        "target_utilization": 0.55,
+        "epoch_seconds": 30.0,
+        "min_nodes": 2,
+    }
+    register_experiment(ExperimentDef(
+        name="chaos_smoke",
+        title="Chaos: small fault-injection run for CI smoke / "
+              "observatory gating (crashes, throttling, disk, timeouts)",
+        point_fn=chaos_point,
+        defaults={
+            "queries": 20_000,
+            "nodes": 8,
+            "intensity": 1.0,
+            **_CHAOS_DEFAULTS,
+        },
+        aggregate=_chaos_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="chaos_frontier",
+        title="Chaos: availability-vs-energy frontier, 500k queries on "
+              "16 nodes across fault intensities",
+        point_fn=chaos_point,
+        defaults={
+            "queries": 500_000,
+            "nodes": 16,
+            "intensity": [0.5, 1.0, 2.0],
+            **_CHAOS_DEFAULTS,
+        },
+        aggregate=_chaos_aggregate,
         profile="commodity",
     ))
     register_experiment(ExperimentDef(

@@ -39,13 +39,15 @@ def _register_builtin_reports() -> None:
     from repro.consolidation.scheduler import ScheduleReport
     from repro.core.experiments import Figure1Result, Figure2Result
     from repro.core.profiler import EnergyProfile
+    from repro.faults.experiments import ChaosSweepResult
     from repro.service.report import ServiceReport, ServiceSweepResult
     from repro.workloads.duty_cycle import DutyCycleReport
     from repro.workloads.scan_workload import ScanReport
     from repro.workloads.throughput import ThroughputReport
     for cls in (ThroughputReport, ScanReport, DutyCycleReport,
                 EnergyProfile, Figure1Result, Figure2Result,
-                ScheduleReport, ServiceReport, ServiceSweepResult):
+                ScheduleReport, ServiceReport, ServiceSweepResult,
+                ChaosSweepResult):
         register_report(cls)
 
 

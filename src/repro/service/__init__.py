@@ -26,8 +26,9 @@ from repro.service.dispatch import (DISPATCH_POLICIES, DispatchPolicy,
 from repro.service.fleet import simulate_service
 from repro.service.micro import MicroFleetResult, run_micro_fleet
 from repro.service.node import FleetNode, NodePowerModel
-from repro.service.report import (NodeStats, ServiceError, ServiceReport,
-                                  ServiceSweepResult, TenantStats)
+from repro.service.report import (FaultStats, NodeStats, ServiceError,
+                                  ServiceReport, ServiceSweepResult,
+                                  TenantStats)
 from repro.service.workload import (DEFAULT_CLASSES, DEFAULT_TENANTS,
                                     ArrivalStream, QueryClass, Tenant,
                                     build_stream)
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_TENANTS",
     "DISPATCH_POLICIES",
     "DispatchPolicy",
+    "FaultStats",
     "FleetNode",
     "LeastLoaded",
     "MicroFleetResult",

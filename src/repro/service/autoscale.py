@@ -69,6 +69,8 @@ class Autoscaler:
         self._below_since: float | None = None
         #: (time, powered-on count) decision log for reports/tests
         self.decisions: list[tuple[float, int]] = []
+        #: replacement boots performed at crash instants (not epochs)
+        self.emergency_boots = 0
 
     def observe(self, service_seconds: float) -> None:
         """Account one arrival's service demand into the current epoch."""
@@ -116,6 +118,37 @@ class Autoscaler:
         else:
             self._below_since = None
         self.decisions.append((now, len(on_ids)))
+
+    def emergency(self, now: float, nodes: Sequence[FleetNode],
+                  on_ids: list[int],
+                  downtime_seconds: float) -> list[int]:
+        """React to a crash *now* instead of waiting for the epoch.
+
+        Boots spare (powered-off, repaired, drained) nodes until the
+        smoothed demand is covered again — but only when the outage is
+        worth a power cycle: a crash shorter than the model's
+        break-even time costs less in queueing than the boot + drain
+        lumps a replacement would burn, the same accounting that gates
+        every scale-down.  Returns the indices booted; the boot energy
+        is priced through :meth:`FleetNode.power_on` as usual.
+        """
+        if downtime_seconds < self.model.breakeven_seconds():
+            return []
+        desired = self.desired_nodes(len(nodes))
+        booted: list[int] = []
+        for i in range(len(nodes)):
+            if len(on_ids) + len(booted) >= desired:
+                break
+            node = nodes[i]
+            if not node.on and node.busy_until <= now:
+                node.power_on(now)
+                booted.append(i)
+        if booted:
+            on_ids.extend(booted)
+            on_ids.sort()
+            self.emergency_boots += len(booted)
+            self.decisions.append((now, len(on_ids)))
+        return booted
 
     def _scale_down(self, now: float, nodes: Sequence[FleetNode],
                     on_ids: list[int], desired: int) -> None:

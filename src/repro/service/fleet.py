@@ -112,6 +112,9 @@ def simulate_service(stream: ArrivalStream,
                      policy: DispatchPolicy | str = "power_aware",
                      model: Optional[NodePowerModel] = None,
                      autoscaler: Optional[Autoscaler] = None,
+                     faults=None,
+                     retry=None,
+                     shed=None,
                      **policy_kwargs) -> ServiceReport:
     """Serve ``stream`` on an ``n_nodes`` fleet; returns the report.
 
@@ -120,7 +123,26 @@ def simulate_service(stream: ArrivalStream,
     the policy declares ``autoscaled`` (packing); the all-on baselines
     keep the whole fleet powered, which is exactly the §2.4
     non-proportionality problem the packing policy exists to fix.
+
+    Passing a :class:`~repro.faults.schedule.FaultSchedule` as
+    ``faults`` hands the run to the chaos engine
+    (:func:`repro.faults.engine.simulate_faulty_service`): same
+    closed-form pipes, but the schedule's crashes, throttles, disk
+    failures, and timeout windows are merged into the timeline, with
+    ``retry`` (:class:`~repro.faults.policies.RetryPolicy`) and
+    ``shed`` (:class:`~repro.faults.policies.ShedPolicy`) steering the
+    degradation.  The returned report then carries a
+    :class:`~repro.service.report.FaultStats` ledger.
     """
+    if faults is not None:
+        from repro.faults.engine import simulate_faulty_service
+        return simulate_faulty_service(
+            stream, faults, n_nodes=n_nodes, policy=policy, model=model,
+            autoscaler=autoscaler, retry=retry, shed=shed,
+            **policy_kwargs)
+    if retry is not None or shed is not None:
+        raise ServiceError("retry/shed policies only apply to a fault "
+                           "run: pass a FaultSchedule as faults=")
     if n_nodes < 1:
         raise ServiceError("need at least one node")
     if len(stream) == 0:

@@ -152,6 +152,7 @@ class FleetNode:
     __slots__ = ("name", "model", "on", "busy_until", "on_since",
                  "_interval_busy", "_interval_boot", "on_seconds",
                  "busy_seconds", "energy_joules", "boots", "completed",
+                 "crashes", "_interval_active_joules", "_active_energy",
                  "_finalized")
 
     def __init__(self, name: str, model: NodePowerModel,
@@ -164,16 +165,29 @@ class FleetNode:
         self.on_since = at if on else 0.0
         self._interval_busy = 0.0  # busy seconds in the current ON span
         self._interval_boot = 0.0  # boot seconds in the current ON span
+        # active energy above idle in the current ON span, accumulated
+        # per query when serve_active() prices degraded power states;
+        # the flag keeps the healthy path on the (peak - idle) * busy
+        # identity bit-for-bit
+        self._interval_active_joules = 0.0
+        self._active_energy = False
         self.on_seconds = 0.0
         self.busy_seconds = 0.0
         self.energy_joules = 0.0
         self.boots = 0
+        self.crashes = 0
         self.completed = 0
         self._finalized = False
 
     def backlog(self, now: float) -> float:
         """Seconds of queued + in-flight work ahead of a new arrival."""
         return self.busy_until - now if self.busy_until > now else 0.0
+
+    @property
+    def boot_until(self) -> float:
+        """End of the current ON span's atomic boot window (its start
+        for a node that was constructed powered on)."""
+        return self.on_since + self._interval_boot
 
     def serve(self, arrival_t: float, service_s: float) -> float:
         """Admit one query; returns its latency (wait + service)."""
@@ -187,6 +201,76 @@ class FleetNode:
         self.completed += 1
         return self.busy_until - arrival_t
 
+    def serve_active(self, arrival_t: float, service_s: float,
+                     busy_watts: float,
+                     speed_mult: float = 1.0) -> tuple[float, float]:
+        """Admit one query at an explicit power state; returns its
+        ``(start, end)`` execution window.
+
+        The fault engine's entry point: a throttled node runs slower
+        (``speed_mult < 1``) at a lower busy draw (``busy_watts``
+        below peak, cubic-DVFS priced), so active energy is
+        accumulated per query instead of through the fleet-wide
+        ``(peak - idle) * busy_seconds`` identity.  Completion is the
+        caller's to confirm — a later crash may retract it.
+        """
+        if not self.on:
+            raise ServiceError(f"{self.name}: dispatched to a powered-off "
+                               "node")
+        if speed_mult <= 0:
+            raise ServiceError(f"{self.name}: speed multiplier must be "
+                               "positive")
+        if busy_watts < self.model.idle_watts:
+            raise ServiceError(f"{self.name}: busy draw below idle")
+        scaled = service_s / (self.model.speed_factor * speed_mult)
+        start = self.busy_until if self.busy_until > arrival_t else arrival_t
+        self.busy_until = start + scaled
+        self._interval_busy += scaled
+        self._interval_active_joules += \
+            (busy_watts - self.model.idle_watts) * scaled
+        self._active_energy = True
+        self.completed += 1
+        return start, self.busy_until
+
+    def retract(self, busy_seconds: float, active_joules: float,
+                count: int) -> None:
+        """Take back work a crash destroyed before it completed.
+
+        ``busy_seconds`` / ``active_joules`` are the *unexecuted*
+        remainders of in-flight and queued queries; ``count`` is how
+        many of them never completed at all.
+        """
+        if min(busy_seconds, active_joules, count) < 0:
+            raise ServiceError(f"{self.name}: negative retraction")
+        self._interval_busy -= busy_seconds
+        self._interval_active_joules -= active_joules
+        self.completed -= count
+
+    def crash(self, now: float, repair_at: float) -> None:
+        """Lose the node ungracefully: no drain, books closed at ``now``.
+
+        Unlike :meth:`power_off`, a crash forfeits the drain window
+        (and its energy lump — the node just stops drawing power) and
+        parks ``busy_until`` at ``repair_at``, the instant the node
+        becomes bootable again.  The model treats the boot window as
+        atomic, so the caller must not crash a node that is still
+        booting (defer to the boot's end instead).
+        """
+        if not self.on:
+            raise ServiceError(f"{self.name}: cannot crash a powered-off "
+                               "node")
+        if now < self.on_since + self._interval_boot:
+            raise ServiceError(
+                f"{self.name}: crash at {now} lands inside the atomic "
+                f"boot window ending {self.on_since + self._interval_boot}")
+        if repair_at < now:
+            raise ServiceError(f"{self.name}: repair precedes the crash")
+        self._close_interval(now)
+        self.on = False
+        self.crashes += 1
+        # unusable until repaired; power_on() checks busy_until
+        self.busy_until = repair_at
+
     def power_on(self, now: float) -> None:
         """Boot the node; it serves once the boot window passes."""
         if self.on:
@@ -196,6 +280,7 @@ class FleetNode:
         self.on = True
         self.on_since = now
         self._interval_busy = 0.0
+        self._interval_active_joules = 0.0
         self._interval_boot = self.model.boot_seconds
         self.busy_until = now + self.model.boot_seconds
         self.boots += 1
@@ -220,13 +305,18 @@ class FleetNode:
         self.on_seconds += span
         self.busy_seconds += self._interval_busy
         # the boot window is priced wholly by the boot_joules lump —
-        # only the remainder of the interval draws idle-or-busy power
+        # only the remainder of the interval draws idle-or-busy power;
+        # serve_active() intervals carry their own per-query active
+        # energy (degraded power states), serve() intervals use the
+        # fleet-wide linear identity
+        active = (self._interval_active_joules if self._active_energy
+                  else (self.model.peak_watts - self.model.idle_watts)
+                  * self._interval_busy)
         self.energy_joules += (self.model.idle_watts
                                * (span - self._interval_boot)
-                               + (self.model.peak_watts
-                                  - self.model.idle_watts)
-                               * self._interval_busy)
+                               + active)
         self._interval_busy = 0.0
+        self._interval_active_joules = 0.0
         self._interval_boot = 0.0
 
     def finalize(self, end: float) -> NodeStats:
@@ -248,4 +338,5 @@ class FleetNode:
             busy_seconds=self.busy_seconds,
             energy_joules=self.energy_joules,
             boots=self.boots,
+            crashes=self.crashes,
         )

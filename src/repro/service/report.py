@@ -18,7 +18,7 @@ SLA across dispatch policies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from repro.core.metrics import energy_efficiency
 from repro.errors import ReproError
@@ -47,7 +47,13 @@ def quantile(sorted_values: list[float], q: float) -> float:
 
 @dataclass
 class TenantStats:
-    """One tenant's SLA ledger for a serving run."""
+    """One tenant's SLA ledger for a serving run.
+
+    ``crashed`` counts arrivals lost to node crashes after every retry
+    was exhausted (zero on any healthy run); a tenant with zero
+    completions did not survive the run — its latency fields are 0.0
+    and :attr:`sla_met` is False by definition.
+    """
 
     tenant: str
     completed: int
@@ -57,16 +63,24 @@ class TenantStats:
     p95_latency_seconds: float
     p99_latency_seconds: float
     sla_p95_seconds: float
+    crashed: int = 0
+
+    @property
+    def survived(self) -> bool:
+        """Whether the tenant completed any queries at all."""
+        return self.completed > 0
 
     @property
     def sla_met(self) -> bool:
-        return self.p95_latency_seconds <= self.sla_p95_seconds
+        return self.survived and \
+            self.p95_latency_seconds <= self.sla_p95_seconds
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "tenant": self.tenant,
             "completed": self.completed,
             "rejected": self.rejected,
+            "crashed": self.crashed,
             "mean_latency_seconds": self.mean_latency_seconds,
             "p50_latency_seconds": self.p50_latency_seconds,
             "p95_latency_seconds": self.p95_latency_seconds,
@@ -89,6 +103,7 @@ class NodeStats:
     busy_seconds: float
     energy_joules: float
     boots: int
+    crashes: int = 0
 
     @property
     def utilization(self) -> float:
@@ -105,10 +120,71 @@ class NodeStats:
             "busy_seconds": self.busy_seconds,
             "energy_joules": self.energy_joules,
             "boots": self.boots,
+            "crashes": self.crashes,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NodeStats":
+        return cls(**dict(data))
+
+
+@dataclass
+class FaultStats:
+    """The chaos ledger of one serving run.
+
+    Injected-fault counts cover events the engine actually applied;
+    ``faults_skipped`` counts scheduled events that found their node
+    already down (crash-on-crashed, crash-on-parked).  The query-side
+    counts reconcile exactly with the report:
+    ``queries_offered == queries_completed + queries_rejected +
+    queries_lost`` — every arrival is completed, rejected at admission
+    (including shed and retry-exhausted timeouts), or attributed to a
+    crash.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    throttle_windows: int = 0
+    disk_failures: int = 0
+    timeout_windows: int = 0
+    faults_skipped: int = 0
+    #: arrivals destroyed by a crash and never completed by a retry
+    queries_lost: int = 0
+    #: arrivals destroyed by a crash but completed on a later attempt
+    queries_recovered: int = 0
+    #: re-dispatch attempts performed (crash recoveries + timeout hits)
+    retries: int = 0
+    #: dispatch attempts that hit a timeout window
+    timeouts: int = 0
+    #: arrivals rejected by the shed policy (subset of rejected)
+    queries_shed: int = 0
+    #: replacement nodes the autoscaler booted at crash instants
+    emergency_boots: int = 0
+    #: injected crash downtime inside the run (node-seconds)
+    node_seconds_lost: float = 0.0
+    #: node_seconds_lost / (n_nodes * makespan)
+    downtime_fraction: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "throttle_windows": self.throttle_windows,
+            "disk_failures": self.disk_failures,
+            "timeout_windows": self.timeout_windows,
+            "faults_skipped": self.faults_skipped,
+            "queries_lost": self.queries_lost,
+            "queries_recovered": self.queries_recovered,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "queries_shed": self.queries_shed,
+            "emergency_boots": self.emergency_boots,
+            "node_seconds_lost": self.node_seconds_lost,
+            "downtime_fraction": self.downtime_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultStats":
         return cls(**dict(data))
 
 
@@ -130,6 +206,8 @@ class ServiceReport:
     node_seconds_on: float
     tenants: list[TenantStats] = field(default_factory=list)
     nodes: list[NodeStats] = field(default_factory=list)
+    #: chaos ledger; None on a fault-free run
+    faults: Optional[FaultStats] = None
 
     # -- derived metrics (empty runs raise, like core.metrics) --------
 
@@ -161,9 +239,29 @@ class ServiceReport:
         return self.node_seconds_on / self.makespan_seconds
 
     @property
+    def queries_lost(self) -> int:
+        """Arrivals attributed to crashes (0 on a fault-free run)."""
+        return self.faults.queries_lost if self.faults is not None else 0
+
+    @property
+    def availability(self) -> float:
+        """Completed fraction of offered queries — the paper's
+        Joules-vs-availability trade-off, measured."""
+        if self.queries_offered <= 0:
+            raise ServiceError("empty run: availability undefined")
+        return self.queries_completed / self.queries_offered
+
+    @property
     def slas_met(self) -> bool:
         """True when every tenant's p95 target held."""
         return all(t.sla_met for t in self.tenants)
+
+    @property
+    def surviving_slas_met(self) -> bool:
+        """True when every tenant that completed anything met its SLA
+        (the degraded-mode acceptance reading: lost tenants are
+        counted by availability, survivors by latency)."""
+        return all(t.sla_met for t in self.tenants if t.survived)
 
     def tenant(self, name: str) -> TenantStats:
         for stats in self.tenants:
@@ -198,6 +296,8 @@ class ServiceReport:
             "node_seconds_on": self.node_seconds_on,
             "tenants": [t.to_dict() for t in self.tenants],
             "nodes": [n.to_dict() for n in self.nodes],
+            "faults": (self.faults.to_dict()
+                       if self.faults is not None else None),
         }
 
     @classmethod
@@ -207,6 +307,9 @@ class ServiceReport:
                               for t in data.get("tenants", [])]
         payload["nodes"] = [NodeStats.from_dict(n)
                             for n in data.get("nodes", [])]
+        faults = data.get("faults")
+        payload["faults"] = (FaultStats.from_dict(faults)
+                             if faults is not None else None)
         return cls(**payload)
 
 

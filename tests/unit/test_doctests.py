@@ -7,9 +7,11 @@ import doctest
 import pytest
 
 from repro.core import metrics, profiler
+from repro.faults import engine, policies, schedule
 
 
-@pytest.mark.parametrize("module", [metrics, profiler],
+@pytest.mark.parametrize("module",
+                         [metrics, profiler, schedule, policies, engine],
                          ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
