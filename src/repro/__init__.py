@@ -31,10 +31,12 @@ from repro.faults import (FaultSchedule, RetryPolicy, ShedPolicy,
                           build_fault_schedule, simulate_faulty_service)
 from repro.relational.executor import ExecutionContext, Executor, QueryResult
 from repro.runner import ExperimentSpec, Runner, RunResult
+from repro.service.fleet import simulate_service
 from repro.service.report import ServiceReport, ServiceSweepResult
+from repro.service.spec import FleetSpec, NodeClass
 from repro.sim import Simulation
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: deprecated v1 entry points, resolved lazily (PEP 562) so importing
 #: :mod:`repro` never touches them — they warn only when actually used
@@ -48,6 +50,8 @@ __all__ = [
     "Executor",
     "ExperimentSpec",
     "FaultSchedule",
+    "FleetSpec",
+    "NodeClass",
     "QueryResult",
     "RetryPolicy",
     "RunResult",
@@ -61,6 +65,7 @@ __all__ = [
     "energy_efficiency",
     "perf_per_watt",
     "simulate_faulty_service",
+    "simulate_service",
     "run_figure1",
     "run_figure2",
 ]

@@ -10,11 +10,14 @@ operator-facing story lives in OPERATIONS.md at the repo root.
 Quick start::
 
     from repro.faults import build_fault_schedule, simulate_faulty_service
-    from repro.service import build_stream
+    from repro.service import FleetSpec, build_stream
 
     stream = build_stream(100_000, seed=0)
-    schedule = build_fault_schedule(16, stream.duration_seconds, seed=0)
-    report = simulate_faulty_service(stream, schedule, n_nodes=16)
+    fleet = FleetSpec.homogeneous(16)         # or FleetSpec.of(...)
+    schedule = build_fault_schedule(fleet=fleet,
+                                    horizon_seconds=stream.duration_seconds,
+                                    seed=0)
+    report = simulate_faulty_service(stream, schedule, fleet=fleet)
     print(report.availability, report.faults.crashes)
 
 or, the registered experiments::

@@ -43,11 +43,14 @@ import numpy as np
 from repro.faults.policies import RetryPolicy, ShedPolicy
 from repro.faults.schedule import FaultError, FaultSchedule
 from repro.service.autoscale import Autoscaler
-from repro.service.dispatch import DispatchPolicy, make_policy
-from repro.service.fleet import _TelemetryMirror, _mirror_power_state
-from repro.service.node import FleetNode, NodePowerModel
+from repro.service.dispatch import (DispatchContext, DispatchPolicy,
+                                    make_policy)
+from repro.service.fleet import (_build_nodes, _mirror_power_state,
+                                 _resolve_fleet, _TelemetryMirror)
+from repro.service.node import NodePowerModel
 from repro.service.report import (FaultStats, ServiceError, ServiceReport,
-                                  TenantStats, quantile)
+                                  TenantStats, quantile, rollup_classes)
+from repro.service.spec import FleetSpec
 from repro.service.workload import ArrivalStream
 
 # arrival-state codes (per-query resolution ledger)
@@ -70,7 +73,7 @@ class _FaultMirror(_TelemetryMirror):
               busy_watts: float) -> None:
         series = self.devices[i].power_series
         series.record(start, busy_watts)
-        series.record(end, self.model.idle_watts)
+        series.record(end, self.models[i].idle_watts)
 
     def crash(self, i: int, now: float) -> None:
         self.devices[i].power_series.record(now, 0.0)
@@ -110,14 +113,24 @@ def _merge_windows(windows: list[tuple[float, float]]) \
 
 def simulate_faulty_service(stream: ArrivalStream,
                             schedule: FaultSchedule,
-                            n_nodes: int = 16,
+                            fleet: Optional[FleetSpec] = None,
                             policy: DispatchPolicy | str = "power_aware",
-                            model: Optional[NodePowerModel] = None,
                             autoscaler: Optional[Autoscaler] = None,
                             retry: Optional[RetryPolicy] = None,
                             shed: Optional[ShedPolicy] = None,
+                            n_nodes: Optional[int] = None,
+                            model: Optional[NodePowerModel] = None,
                             **policy_kwargs) -> ServiceReport:
     """Serve ``stream`` on a fleet while ``schedule`` breaks it.
+
+    ``fleet`` is a :class:`~repro.service.spec.FleetSpec` (default: 16
+    calibrated ``commodity`` nodes); the legacy ``n_nodes=``/``model=``
+    pair still works as a deprecated homogeneous shim.  On a
+    heterogeneous fleet every fault prices against the struck node's
+    *own* power curve — a throttled wimpy node's busy draw follows the
+    cubic DVFS rule on its class's idle/peak watts, a crashed node
+    retracts its own marginal Joules, and the autoscaler's emergency
+    replacement boots are gated by each spare's own break-even time.
 
     Semantics per fault kind:
 
@@ -148,13 +161,15 @@ def simulate_faulty_service(stream: ArrivalStream,
     arrival: ``offered == completed + rejected + lost``, exactly.
 
     >>> from repro.faults.schedule import FaultEvent, FaultSchedule
+    >>> from repro.service.spec import FleetSpec
     >>> from repro.service.workload import build_stream
     >>> stream = build_stream(200, seed=1)
     >>> crash = FaultEvent(kind="crash", node=0, start=1.0, duration=30.0)
     >>> plan = FaultSchedule(n_nodes=4, horizon_seconds=60.0,
     ...                      events=(crash,))
-    >>> report = simulate_faulty_service(stream, plan, n_nodes=4,
-    ...                                  policy="round_robin")
+    >>> report = simulate_faulty_service(
+    ...     stream, plan, fleet=FleetSpec.homogeneous(4),
+    ...     policy="round_robin")
     >>> report.faults.crashes
     1
     >>> report.queries_offered == (report.queries_completed
@@ -162,32 +177,30 @@ def simulate_faulty_service(stream: ArrivalStream,
     ...                            + report.queries_lost)
     True
     """
-    if n_nodes < 1:
-        raise ServiceError("need at least one node")
+    fleet = _resolve_fleet(fleet, n_nodes, model)
+    n_nodes = fleet.n_nodes
     if len(stream) == 0:
         raise ServiceError("empty arrival stream")
     if schedule.n_nodes != n_nodes:
         raise FaultError(
             f"schedule covers {schedule.n_nodes} nodes but the fleet has "
             f"{n_nodes}")
-    if model is None:
-        model = NodePowerModel.from_server("commodity")
     policy = make_policy(policy, **policy_kwargs)
     if policy.autoscaled and autoscaler is None:
-        autoscaler = Autoscaler(model)
+        autoscaler = Autoscaler(fleet.classes[0].model)
     if not policy.autoscaled:
         autoscaler = None
     if retry is None:
         retry = RetryPolicy()
 
-    nodes = [FleetNode(f"node{i:03d}", model, on=True)
-             for i in range(n_nodes)]
+    nodes = _build_nodes(fleet)
     on_ids = list(range(n_nodes))
+    models = [node.model for node in nodes]
 
     from repro.telemetry import current_collector
     collector = current_collector()
     mirror = (None if collector is None else
-              _FaultMirror(collector, n_nodes, model, start_on=True))
+              _FaultMirror(collector, nodes, start_on=True))
 
     times = stream.times.tolist()
     services = stream.service_seconds.tolist()
@@ -199,12 +212,13 @@ def simulate_faulty_service(stream: ArrivalStream,
     was_crashed = np.zeros(n, dtype=bool)
     attempts = [0] * n
 
-    # -- per-node fault state -----------------------------------------
-    peak_minus_idle = model.peak_watts - model.idle_watts
+    # -- per-node fault state (each node on its class's power curve) --
+    peak_minus_idle = [m.peak_watts - m.idle_watts for m in models]
     throttle_active: list[list[float]] = [[] for _ in range(n_nodes)]
     disk_active: list[list[float]] = [[] for _ in range(n_nodes)]
     speed_mult = [1.0] * n_nodes
-    busy_watts = [model.idle_watts + peak_minus_idle] * n_nodes
+    busy_watts = [m.idle_watts + pmi
+                  for m, pmi in zip(models, peak_minus_idle)]
     #: unsettled executions per node: (k, start, end, scaled, watts)
     pending: list[deque] = [deque() for _ in range(n_nodes)]
 
@@ -216,7 +230,8 @@ def simulate_faulty_service(stream: ArrivalStream,
         for f in disk_active[i]:
             df *= f
         speed_mult[i] = tf * df
-        busy_watts[i] = model.idle_watts + peak_minus_idle * tf ** 3
+        busy_watts[i] = models[i].idle_watts \
+            + peak_minus_idle[i] * tf ** 3
 
     # -- the merged event timeline ------------------------------------
     heap: list[tuple] = []
@@ -282,7 +297,8 @@ def simulate_faulty_service(stream: ArrivalStream,
                 mirror.power_on(spare, now)
             ids = on_ids
         s = services[k]
-        i = policy.select(nodes, ids, now, s)
+        sla = sla_of[int(tenant_idx[k])]
+        i = policy.route(DispatchContext(nodes, ids, now, s, sla))
         node = nodes[i]
         attempts[k] += 1
         if in_timeout(i, now):
@@ -300,8 +316,8 @@ def simulate_faulty_service(stream: ArrivalStream,
             state[k] = _REJECTED
             return
         if shed is not None and shed.sheds(
-                node.backlog(now), s / (model.speed_factor * speed_mult[i]),
-                sla_of[int(tenant_idx[k])]):
+                node.backlog(now),
+                s / (node.model.speed_factor * speed_mult[i]), sla):
             state[k] = _REJECTED
             stats.queries_shed += 1
             return
@@ -332,14 +348,14 @@ def simulate_faulty_service(stream: ArrivalStream,
             k0, s0, _e0, scaled0, w0 = q.popleft()
             unexecuted = scaled0 - (now - s0)
             retract_busy += unexecuted
-            retract_joules += (w0 - model.idle_watts) * unexecuted
+            retract_joules += (w0 - node.model.idle_watts) * unexecuted
             lost.append(k0)
             if mirror is not None:
                 mirror.serve(i, s0, now, w0)
         while q:
             k2, _s2, _e2, scaled2, w2 = q.popleft()
             retract_busy += scaled2
-            retract_joules += (w2 - model.idle_watts) * scaled2
+            retract_joules += (w2 - node.model.idle_watts) * scaled2
             lost.append(k2)
         node.retract(retract_busy, retract_joules, len(lost))
         repair_at = now + downtime
@@ -440,6 +456,13 @@ def simulate_faulty_service(stream: ArrivalStream,
     for node in nodes:
         if node.on and node.busy_until > end:
             end = node.busy_until
+    # a crash that struck a powered-on node after the serving window
+    # still closed that node's energy interval at the crash instant;
+    # the fleet (and the telemetry mirror) must integrate idle draw on
+    # the survivors out to the same instant or the books won't balance
+    for crashed_at, _repair_at in crash_intervals:
+        if crashed_at > end:
+            end = crashed_at
     for i in range(n_nodes):
         settle(i, end)
     if int((state == _PENDING).sum()):  # pragma: no cover - invariant
@@ -498,6 +521,8 @@ def simulate_faulty_service(stream: ArrivalStream,
         tenants=tenants,
         nodes=node_stats,
         faults=stats,
+        classes=rollup_classes(node_stats),
+        fleet=fleet.to_dict(),
     )
     if mirror is not None:
         mirror.finish(end, report)

@@ -23,9 +23,10 @@ from repro.faults.engine import simulate_faulty_service
 from repro.faults.policies import RetryPolicy, ShedPolicy
 from repro.faults.schedule import FaultError, FaultMix, build_fault_schedule
 from repro.service.autoscale import Autoscaler
-from repro.service.dispatch import make_policy
+from repro.service.dispatch import make_policy, policy_knob_names
 from repro.service.node import NodePowerModel
 from repro.service.report import ServiceReport
+from repro.service.spec import FleetSpec
 from repro.service.workload import build_stream
 
 
@@ -61,6 +62,7 @@ def chaos_point(policy: str = "power_aware",
     at once — the ``chaos_frontier`` sweep axis.
     """
     model = NodePowerModel.from_server(profile)
+    fleet = FleetSpec.homogeneous(nodes, model)
     stream = build_stream(queries, seed=seed)
     schedule = build_fault_schedule(
         nodes, stream.duration_seconds * horizon_slack, seed=seed,
@@ -79,11 +81,12 @@ def chaos_point(policy: str = "power_aware",
                         timeout_detect_seconds=timeout_detect_seconds)
     shed = (ShedPolicy(slack_fraction=shed_slack_fraction)
             if shed_slack_fraction is not None else None)
-    kwargs: dict[str, Any] = {
+    accepted = policy_knob_names(policy)
+    candidate: dict[str, Any] = {
+        "pack_backlog_seconds": pack_backlog_seconds,
         "admission_limit_seconds": admission_limit_seconds}
-    if policy == "power_aware":
-        kwargs["pack_backlog_seconds"] = pack_backlog_seconds
-    dispatch = make_policy(policy, **kwargs)
+    dispatch = make_policy(policy, **{k: v for k, v in candidate.items()
+                                      if k in accepted})
     autoscaler = Autoscaler(
         model,
         epoch_seconds=epoch_seconds,
@@ -91,7 +94,7 @@ def chaos_point(policy: str = "power_aware",
         min_nodes=min_nodes,
     ) if dispatch.autoscaled else None
     return simulate_faulty_service(
-        stream, schedule, n_nodes=nodes, policy=dispatch, model=model,
+        stream, schedule, fleet=fleet, policy=dispatch,
         autoscaler=autoscaler, retry=retry, shed=shed)
 
 

@@ -239,10 +239,11 @@ class FaultMix:
             raise FaultError("throttle DVFS fraction must be in (0, 1]")
 
 
-def build_fault_schedule(n_nodes: int,
-                         horizon_seconds: float,
+def build_fault_schedule(n_nodes: int | None = None,
+                         horizon_seconds: float = 0.0,
                          seed: int = 0,
                          mix: FaultMix | None = None,
+                         fleet: Any = None,
                          **mix_kwargs: Any) -> FaultSchedule:
     """Draw a deterministic Poisson fault plan for a fleet.
 
@@ -251,11 +252,32 @@ def build_fault_schedule(n_nodes: int,
     stable under changes to every other lane.  Keyword arguments are
     :class:`FaultMix` fields, for callers that don't build the mix
     themselves.
+
+    Passing a :class:`~repro.service.spec.FleetSpec` as ``fleet``
+    (instead of ``n_nodes``) switches to *per-class* lanes: each
+    node's streams are seeded ``SeedSequence([seed, class_index,
+    within_class_index, lane])``, so a class's fault draws are a
+    function of its position in the composition, not of the global
+    node index — resizing the beefy tier never perturbs the wimpy
+    tier's crashes.  The emitted events still target global node
+    indices, matching :func:`repro.service.fleet.simulate_service`'s
+    node order for that spec.
     """
     if mix is None:
         mix = FaultMix(**mix_kwargs)
     elif mix_kwargs:
         raise FaultError("pass a FaultMix or its fields, not both")
+    if (n_nodes is None) == (fleet is None):
+        raise FaultError(
+            "pass exactly one of n_nodes= or fleet= to size the plan")
+    if fleet is not None:
+        # (class_index, within_class_index) per global node index
+        lane_keys = []
+        for ci, node_class in enumerate(fleet.classes):
+            lane_keys.extend((ci, wi) for wi in range(node_class.count))
+        n_nodes = len(lane_keys)
+    else:
+        lane_keys = [(node,) for node in range(n_nodes)]
     if n_nodes < 1:
         raise FaultError("schedule needs at least one node")
     if horizon_seconds <= 0:
@@ -272,13 +294,13 @@ def build_fault_schedule(n_nodes: int,
          mix.timeout_duration_seconds, 0.0),
     )
     events: list[FaultEvent] = []
-    for node in range(n_nodes):
+    for node, key in enumerate(lane_keys):
         for lane, (kind, rate, duration, severity) in enumerate(lanes):
             effective = rate * mix.intensity
             if effective <= 0:
                 continue
             rng = np.random.default_rng(
-                np.random.SeedSequence([seed, node, lane]))
+                np.random.SeedSequence([seed, *key, lane]))
             mean_gap = 3600.0 / effective
             t = float(rng.exponential(mean_gap))
             while t < horizon_seconds:

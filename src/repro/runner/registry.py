@@ -126,12 +126,17 @@ def _chaos_aggregate(points: Sequence["PointResult"]) -> Any:
     return chaos_aggregate(points)
 
 
+def _hetero_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.service.experiments import hetero_aggregate
+    return hetero_aggregate(points)
+
+
 def _register_builtin_experiments() -> None:
     from repro.consolidation.experiments import batching_point
     from repro.core.experiments import figure1_point, figure2_point
     from repro.faults.experiments import chaos_point
     from repro.hardware.profiles import FIG1_DISK_COUNTS
-    from repro.service.experiments import service_point
+    from repro.service.experiments import hetero_point, service_point
     from repro.workloads.duty_cycle import run_duty_cycle
     from repro.workloads.scan_workload import run_scan
 
@@ -240,6 +245,26 @@ def _register_builtin_experiments() -> None:
             "nodes": [8, 16, 32, 64],
         },
         aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_hetero",
+        title="Serving: heterogeneous fleet composition x load x SLA "
+              "frontier (wimpy-vs-beefy crossover, arXiv 1208.1933)",
+        point_fn=hetero_point,
+        defaults={
+            "composition": ["beefy", "wimpy", "mixed"],
+            "load": [0.05, 0.2, 0.6, 1.2],
+            "sla_scale": [1.0, 0.35],
+            "policy": "power_aware",
+            "queries": 40_000,
+            "pack_backlog_seconds": 0.2,
+            "admission_limit_seconds": None,
+            "target_utilization": 0.55,
+            "epoch_seconds": 30.0,
+            "min_nodes": 2,
+        },
+        aggregate=_hetero_aggregate,
         profile="commodity",
     ))
     _CHAOS_DEFAULTS = {

@@ -40,6 +40,7 @@ def _register_builtin_reports() -> None:
     from repro.core.experiments import Figure1Result, Figure2Result
     from repro.core.profiler import EnergyProfile
     from repro.faults.experiments import ChaosSweepResult
+    from repro.service.experiments import HeteroSweepResult
     from repro.service.report import ServiceReport, ServiceSweepResult
     from repro.workloads.duty_cycle import DutyCycleReport
     from repro.workloads.scan_workload import ScanReport
@@ -47,7 +48,7 @@ def _register_builtin_reports() -> None:
     for cls in (ThroughputReport, ScanReport, DutyCycleReport,
                 EnergyProfile, Figure1Result, Figure2Result,
                 ScheduleReport, ServiceReport, ServiceSweepResult,
-                ChaosSweepResult):
+                ChaosSweepResult, HeteroSweepResult):
         register_report(cls)
 
 

@@ -3,11 +3,21 @@
 The autoscaler is the temporal half of consolidation: the dispatcher
 packs load in space, the autoscaler turns the resulting cold tail off —
 but only when the power cycle pays for itself.  Every scale-down is
-gated by the node model's break-even time (boot + drain Joules repaid
-at the avoided idle draw), the same arithmetic as
+gated by the candidate node's break-even time (boot + drain Joules
+repaid at the avoided idle draw), the same arithmetic as
 :meth:`repro.consolidation.migration.MigrationOutcome.breakeven_seconds`
 — a node is only worth switching off if demand has stayed low for at
 least that long.
+
+On a heterogeneous :class:`~repro.service.spec.FleetSpec` fleet the
+scaler is class-aware: demand is tracked in speed-1 node-equivalents
+(capacity), scale-ups boot the class with the lowest energy per unit
+of work at target utilization first, scale-downs drain the most
+expensive class first, and both the cooldown hold and the emergency
+crash-boot gate use each candidate's *own* break-even time — a wimpy
+node with a small boot lump is worth cycling in outages a beefy node
+should ride out.  On a single-class fleet every rule degenerates to
+the classic count-based behavior, bit for bit.
 
 :func:`calibrated_drain_joules` closes the loop with the metered
 layer: it executes a real
@@ -33,15 +43,22 @@ class Autoscaler:
     """Epoch-based reactive scaler over a fixed node order.
 
     Every ``epoch_seconds`` it smooths the observed demand (service
-    seconds offered per second, EWMA) into a desired node count at
-    ``target_utilization``, then:
+    seconds offered per second, EWMA) into a desired fleet *capacity*
+    at ``target_utilization``, then:
 
     * scales **up** immediately — latency is on the line — booting
-      powered-off nodes in index order;
+      powered-off nodes cheapest-energy-per-work first (index order
+      within a class, which on a single-class fleet is plain index
+      order);
     * scales **down** only after demand has stayed below the current
-      capacity for both ``cooldown_epochs`` and the model's break-even
-      time, powering off drained nodes from the tail of the index
-      order (the dispatcher packs from the head, so the tail is cold).
+      capacity for both ``cooldown_epochs`` and the candidate's
+      break-even time, powering off drained nodes costliest class
+      first, from the tail of the index order (the dispatcher packs
+      from the head, so the tail is cold).
+
+    ``model`` is the reference :class:`NodePowerModel` used by the
+    count-based :meth:`desired_nodes` convenience; per-node decisions
+    always read each node's own model.
     """
 
     def __init__(self, model: NodePowerModel,
@@ -76,12 +93,23 @@ class Autoscaler:
         """Account one arrival's service demand into the current epoch."""
         self._epoch_demand_seconds += service_seconds
 
+    def desired_capacity(self) -> float:
+        """Capacity (speed-1 node-equivalents) that serves the
+        smoothed demand at target utilization (unclamped)."""
+        return (self._smoothed_rate or 0.0) / self.target_utilization
+
     def desired_nodes(self, n_nodes: int) -> int:
-        """Node count that serves the smoothed demand at target load."""
-        rate = self._smoothed_rate or 0.0
-        want = rate / self.target_utilization
+        """Node count of the reference model that serves the smoothed
+        demand at target load (the single-class convenience)."""
+        want = self.desired_capacity()
         nodes = int(want) + (0 if want == int(want) else 1)
         return max(self.min_nodes, min(n_nodes, nodes))
+
+    @staticmethod
+    def _work_cost(model: NodePowerModel, target: float) -> float:
+        """Energy per unit of speed-1 work at ``target`` utilization —
+        the class-ranking key for boot/drain preference."""
+        return model.power(target) / (target * model.speed_factor)
 
     def step(self, now: float, nodes: Sequence[FleetNode],
              on_ids: list[int]) -> None:
@@ -97,27 +125,53 @@ class Autoscaler:
         else:
             self._smoothed_rate += self.ewma_alpha * (observed
                                                      - self._smoothed_rate)
-        desired = self.desired_nodes(len(nodes))
+        total_capacity = sum(n.model.speed_factor for n in nodes)
+        want = min(total_capacity, self.desired_capacity())
+        on_capacity = sum(nodes[i].model.speed_factor for i in on_ids)
 
-        if desired > len(on_ids):
-            off = [i for i in range(len(nodes)) if not nodes[i].on]
-            for i in off[: desired - len(on_ids)]:
-                # a draining node (busy_until ahead of now) waits a turn
-                if nodes[i].busy_until <= now:
-                    nodes[i].power_on(now)
-                    on_ids.append(i)
-            on_ids.sort()
+        if on_capacity < want or len(on_ids) < self.min_nodes:
+            self._scale_up(now, nodes, on_ids, on_capacity, want)
             self._below_since = None
-        elif desired < len(on_ids):
+        elif self._can_shrink(nodes, on_ids, on_capacity, want):
             if self._below_since is None:
                 self._below_since = now
-            hold = max(self.cooldown_epochs * self.epoch_seconds,
-                       self.model.breakeven_seconds())
-            if now - self._below_since >= hold:
-                self._scale_down(now, nodes, on_ids, desired)
+            self._scale_down(now, nodes, on_ids, on_capacity, want)
         else:
             self._below_since = None
         self.decisions.append((now, len(on_ids)))
+
+    def _scale_up(self, now: float, nodes: Sequence[FleetNode],
+                  on_ids: list[int], on_capacity: float,
+                  want: float) -> None:
+        target = self.target_utilization
+        off = sorted(
+            (i for i in range(len(nodes)) if not nodes[i].on),
+            key=lambda i: (self._work_cost(nodes[i].model, target), i))
+        claimed_capacity = on_capacity
+        claimed = 0
+        booted: list[int] = []
+        for i in off:
+            if claimed_capacity >= want \
+                    and len(on_ids) + claimed >= self.min_nodes:
+                break
+            # the claim sticks even when the node cannot boot yet — a
+            # draining node (busy_until ahead of now) waits a turn
+            claimed_capacity += nodes[i].model.speed_factor
+            claimed += 1
+            if nodes[i].busy_until <= now:
+                nodes[i].power_on(now)
+                booted.append(i)
+        on_ids.extend(booted)
+        on_ids.sort()
+
+    def _can_shrink(self, nodes: Sequence[FleetNode], on_ids: list[int],
+                    on_capacity: float, want: float) -> bool:
+        """Whether some powered-on node could be removed while keeping
+        capacity at ``want`` and the count at ``min_nodes``."""
+        if len(on_ids) - 1 < self.min_nodes:
+            return False
+        return any(on_capacity - nodes[i].model.speed_factor >= want
+                   for i in on_ids)
 
     def emergency(self, now: float, nodes: Sequence[FleetNode],
                   on_ids: list[int],
@@ -125,24 +179,34 @@ class Autoscaler:
         """React to a crash *now* instead of waiting for the epoch.
 
         Boots spare (powered-off, repaired, drained) nodes until the
-        smoothed demand is covered again — but only when the outage is
-        worth a power cycle: a crash shorter than the model's
-        break-even time costs less in queueing than the boot + drain
-        lumps a replacement would burn, the same accounting that gates
-        every scale-down.  Returns the indices booted; the boot energy
-        is priced through :meth:`FleetNode.power_on` as usual.
+        smoothed demand is covered again — but only nodes for which the
+        outage is worth a power cycle: a crash shorter than a
+        candidate's *own* break-even time costs less in queueing than
+        the boot + drain lumps that replacement would burn, the same
+        accounting that gates every scale-down.  Cheap-to-cycle classes
+        therefore answer short outages that expensive classes sit out.
+        Returns the indices booted; the boot energy is priced through
+        :meth:`FleetNode.power_on` as usual.
         """
-        if downtime_seconds < self.model.breakeven_seconds():
-            return []
-        desired = self.desired_nodes(len(nodes))
+        total_capacity = sum(n.model.speed_factor for n in nodes)
+        want = min(total_capacity, self.desired_capacity())
+        on_capacity = sum(nodes[i].model.speed_factor for i in on_ids)
+        target = self.target_utilization
+        spares = sorted(
+            (i for i in range(len(nodes)) if not nodes[i].on),
+            key=lambda i: (self._work_cost(nodes[i].model, target), i))
         booted: list[int] = []
-        for i in range(len(nodes)):
-            if len(on_ids) + len(booted) >= desired:
+        for i in spares:
+            if on_capacity >= want \
+                    and len(on_ids) + len(booted) >= self.min_nodes:
                 break
             node = nodes[i]
-            if not node.on and node.busy_until <= now:
+            if downtime_seconds < node.model.breakeven_seconds():
+                continue
+            if node.busy_until <= now:
                 node.power_on(now)
                 booted.append(i)
+                on_capacity += node.model.speed_factor
         if booted:
             on_ids.extend(booted)
             on_ids.sort()
@@ -151,15 +215,32 @@ class Autoscaler:
         return booted
 
     def _scale_down(self, now: float, nodes: Sequence[FleetNode],
-                    on_ids: list[int], desired: int) -> None:
-        # tail-first, and only nodes whose pipes have fully drained —
-        # power_off would (rightly) refuse a node with backlog
-        for i in reversed(list(on_ids)):
-            if len(on_ids) <= desired:
+                    on_ids: list[int], on_capacity: float,
+                    want: float) -> None:
+        if self._below_since is None:  # pragma: no cover - guarded
+            return
+        below_for = now - self._below_since
+        cooldown = self.cooldown_epochs * self.epoch_seconds
+        # costliest class first, tail-first within a class, and only
+        # nodes whose pipes have fully drained — power_off would
+        # (rightly) refuse a node with backlog
+        target = self.target_utilization
+        order = sorted(
+            on_ids,
+            key=lambda i: (self._work_cost(nodes[i].model, target), i),
+            reverse=True)
+        for i in order:
+            if len(on_ids) - 1 < self.min_nodes:
                 break
-            if nodes[i].backlog(now) <= 0.0:
-                nodes[i].power_off(now)
+            node = nodes[i]
+            if on_capacity - node.model.speed_factor < want:
+                continue
+            if below_for < max(cooldown, node.model.breakeven_seconds()):
+                continue
+            if node.backlog(now) <= 0.0:
+                node.power_off(now)
                 on_ids.remove(i)
+                on_capacity -= node.model.speed_factor
 
 
 def calibrated_drain_joules(

@@ -1,6 +1,6 @@
 """Pluggable routing/admission policies for the cluster dispatcher.
 
-Three built-ins span the energy/latency design space the paper's §4.2
+Four built-ins span the energy/latency design space the paper's §4.2
 workload-management agenda sketches:
 
 * :class:`RoundRobin` — the oblivious baseline: every node stays on,
@@ -9,27 +9,99 @@ workload-management agenda sketches:
   arrivals go to the smallest backlog (the latency-optimal end).
 * :class:`PowerAwarePacking` — consolidation in space: arrivals pack
   onto the lowest-indexed node whose backlog is under a bound, so the
-  fleet's tail goes cold and the autoscaler can power it off.  Spill
-  falls back to least-loaded among powered-on nodes, which is what
-  keeps the p95 at or below the oblivious baseline's.
+  fleet's tail goes cold and the autoscaler can power it off.  On a
+  heterogeneous fleet the packable candidates are grouped by marginal
+  Joules per unit of work (``(peak - idle) / speed_factor``): the
+  cheapest-per-query class wins whenever a node of it can still meet
+  the arrival's SLA, which is the 1208.1933 routing rule.  Spill falls
+  back to least-loaded among powered-on nodes.
+* :class:`CostAware` — the explicit marginal-cost router: every
+  arrival goes to the node that will burn the fewest marginal Joules
+  for it (:meth:`DispatchContext.marginal_joules`), among nodes whose
+  estimated latency fits the arrival's SLA slack.
 
-Policies are pure routing functions over node backlogs; admission is a
-shared knob (``admission_limit_seconds``) that rejects an arrival when
-its chosen node's backlog exceeds the limit — per-tenant rejection
-counts land in the :class:`~repro.service.report.ServiceReport`.
+Routing decisions read a :class:`DispatchContext` — one documented
+dataclass instead of the legacy positional ``(nodes, on_ids, now,
+service_s)`` tuple — via :meth:`DispatchPolicy.route`.  Third-party
+policies that still override the legacy :meth:`DispatchPolicy.select`
+keep working: the base ``route`` delegates to ``select`` when a
+subclass implements only the old protocol.
+
+Admission is a shared knob (``admission_limit_seconds``) that rejects
+an arrival when its chosen node's backlog exceeds the limit —
+per-tenant rejection counts land in the
+:class:`~repro.service.report.ServiceReport`.
 
 Third-party policies register through :func:`register_policy` and are
 then addressable by name from :class:`~repro.runner.ExperimentSpec`
 knobs, the same extension pattern as
-:func:`repro.runner.register_report`.
+:func:`repro.runner.register_report`.  Factories declare their knobs
+through their signatures: :func:`make_policy` rejects unknown
+``**policy_kwargs`` with the same one-line :class:`ServiceError` style
+as :meth:`repro.runner.registry.ExperimentDef.validate_knobs`.
 """
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.service.node import FleetNode
 from repro.service.report import ServiceError
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchContext:
+    """Everything a routing decision may read, for one arrival.
+
+    ``nodes`` is the whole fleet (indexable by the returned id) and
+    ``on_ids`` the ascending candidate indices the policy may choose
+    from.  ``sla_seconds`` is the arriving tenant's p95 target when the
+    engine knows it (``None`` from legacy call sites), which is what
+    lets class-aware policies trade a slower-but-cheaper node against
+    the arrival's latency budget.
+    """
+
+    nodes: Sequence[FleetNode]
+    on_ids: Sequence[int]
+    now: float
+    service_seconds: float
+    #: the arriving tenant's p95 SLA target (None: unknown)
+    sla_seconds: Optional[float] = None
+
+    def scaled_service_seconds(self, i: int) -> float:
+        """This arrival's execution time on node ``i``'s class."""
+        return self.service_seconds / self.nodes[i].model.speed_factor
+
+    def estimated_latency_seconds(self, i: int) -> float:
+        """Queueing estimate: node ``i``'s backlog plus execution."""
+        return self.nodes[i].backlog(self.now) \
+            + self.scaled_service_seconds(i)
+
+    def marginal_watts(self, i: int) -> float:
+        """Extra draw node ``i`` adds while busy (peak minus idle)."""
+        model = self.nodes[i].model
+        return model.peak_watts - model.idle_watts
+
+    def marginal_joules(self, i: int) -> float:
+        """Marginal energy of running this arrival on node ``i``:
+        execution seconds on its class times its marginal watts."""
+        return self.marginal_watts(i) * self.scaled_service_seconds(i)
+
+    def marginal_cost_rate(self, i: int) -> float:
+        """Marginal Joules per unit of speed-1 work on node ``i`` —
+        the class-ranking constant (arrival-independent)."""
+        model = self.nodes[i].model
+        return (model.peak_watts - model.idle_watts) / model.speed_factor
+
+    def fits_sla(self, i: int, slack_fraction: float = 1.0) -> bool:
+        """Whether node ``i``'s estimated latency fits the arrival's
+        SLA budget (vacuously true when the SLA is unknown)."""
+        if self.sla_seconds is None:
+            return True
+        return self.estimated_latency_seconds(i) \
+            <= self.sla_seconds * slack_fraction
 
 
 class DispatchPolicy:
@@ -39,6 +111,11 @@ class DispatchPolicy:
     autoscaler active (packing concentrates load precisely so the
     autoscaler has something to switch off; the all-on baselines do
     not).
+
+    Subclasses implement :meth:`route` (preferred: reads a
+    :class:`DispatchContext`) or the legacy positional :meth:`select`;
+    each base method delegates to the other, so either protocol alone
+    is a complete policy.
     """
 
     name = "base"
@@ -51,10 +128,26 @@ class DispatchPolicy:
             raise ServiceError("admission limit must be positive")
         self.admission_limit_seconds = admission_limit_seconds
 
+    def route(self, ctx: DispatchContext) -> int:
+        """Index (into ``ctx.nodes``) of the node to serve this
+        arrival."""
+        if type(self).select is DispatchPolicy.select:
+            raise ServiceError(
+                f"policy {self.name!r} implements neither route() nor "
+                "select()")
+        return self.select(ctx.nodes, ctx.on_ids, ctx.now,
+                           ctx.service_seconds)
+
     def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
                now: float, service_s: float) -> int:
-        """Index (into ``nodes``) of the node to serve this arrival."""
-        raise NotImplementedError
+        """Legacy positional entry point (kept for third-party
+        policies and direct callers); new policies override
+        :meth:`route` instead."""
+        if type(self).route is DispatchPolicy.route:
+            raise ServiceError(
+                f"policy {self.name!r} implements neither route() nor "
+                "select()")
+        return self.route(DispatchContext(nodes, on_ids, now, service_s))
 
     def admits(self, node: FleetNode, now: float) -> bool:
         """Whether the routed arrival is admitted (else: rejected)."""
@@ -97,12 +190,20 @@ class LeastLoaded(DispatchPolicy):
 
 
 class PowerAwarePacking(DispatchPolicy):
-    """Pack load onto the lowest-indexed nodes so the rest can sleep.
+    """Pack load onto the cheapest nodes so the rest can sleep.
 
-    Routes to the first powered-on node whose backlog is at most
-    ``pack_backlog_seconds``; when every node is past the bound, spills
-    to the least-loaded powered-on node (bounding the worst-case wait
-    by the fleet-wide minimum backlog, not by an unlucky rotation).
+    Packable candidates are the powered-on nodes whose backlog is at
+    most ``pack_backlog_seconds``.  On a single-class fleet the first
+    candidate in index order wins — exactly the classic packing rule.
+    On a heterogeneous fleet, candidates are ranked by marginal Joules
+    per unit of work (:meth:`DispatchContext.marginal_cost_rate`):
+    the cheapest class that can still meet the arrival's SLA takes the
+    query (lowest index within the class); if no candidate fits the
+    SLA, the cheapest class takes it anyway (the SLA is already lost —
+    don't also lose the Joules).  When every node is past the pack
+    bound, spills to the least-loaded powered-on node (bounding the
+    worst-case wait by the fleet-wide minimum backlog, not by an
+    unlucky rotation).
     """
 
     name = "power_aware"
@@ -115,20 +216,80 @@ class PowerAwarePacking(DispatchPolicy):
             raise ServiceError("pack bound cannot be negative")
         self.pack_backlog_seconds = pack_backlog_seconds
 
-    def select(self, nodes: Sequence[FleetNode], on_ids: Sequence[int],
-               now: float, service_s: float) -> int:
-        bound = now + self.pack_backlog_seconds
-        best = on_ids[0]
-        best_backlog = nodes[best].busy_until
-        if best_backlog <= bound:
-            return best
+    def route(self, ctx: DispatchContext) -> int:
+        nodes = ctx.nodes
+        on_ids = ctx.on_ids
+        bound = ctx.now + self.pack_backlog_seconds
+        first = on_ids[0]
+        best = first
+        best_backlog = nodes[first].busy_until
+        candidates = [first] if best_backlog <= bound else []
         for i in on_ids[1:]:
             b = nodes[i].busy_until
             if b <= bound:
-                return i
-            if b < best_backlog:
+                candidates.append(i)
+            elif b < best_backlog:
                 best, best_backlog = i, b
-        return best
+        if not candidates:
+            return best  # spill: least-loaded powered-on node
+        base_rate = ctx.marginal_cost_rate(candidates[0])
+        if all(ctx.marginal_cost_rate(i) == base_rate
+               for i in candidates[1:]):
+            # single-class fast path: first packable node in index
+            # order, exactly the classic packing rule
+            for i in candidates:
+                if ctx.fits_sla(i):
+                    return i
+            return candidates[0]
+        rates = sorted({ctx.marginal_cost_rate(i) for i in candidates})
+        for rate in rates:
+            for i in candidates:
+                if ctx.marginal_cost_rate(i) == rate \
+                        and ctx.fits_sla(i):
+                    return i
+        for i in candidates:  # nothing fits: cheapest class anyway
+            if ctx.marginal_cost_rate(i) == rates[0]:
+                return i
+        raise ServiceError("unreachable: packing lost its candidates")
+
+
+class CostAware(DispatchPolicy):
+    """Route each arrival to its cheapest marginal-Joules node.
+
+    The explicit form of the 1208.1933 rule: among powered-on nodes
+    whose estimated latency (backlog + execution on that class) fits
+    the arrival's SLA times ``sla_slack_fraction``, take the one whose
+    marginal Joules for this arrival are lowest (ties to the lowest
+    index, which keeps the tail cold for the autoscaler).  When no
+    node fits the budget, falls back to the lowest estimated latency.
+    """
+
+    name = "cost_aware"
+    autoscaled = True
+
+    def __init__(self, sla_slack_fraction: float = 1.0,
+                 admission_limit_seconds: Optional[float] = None) -> None:
+        super().__init__(admission_limit_seconds)
+        if sla_slack_fraction <= 0:
+            raise ServiceError("SLA slack fraction must be positive")
+        self.sla_slack_fraction = sla_slack_fraction
+
+    def route(self, ctx: DispatchContext) -> int:
+        best = -1
+        best_cost = float("inf")
+        fastest = ctx.on_ids[0]
+        fastest_latency = float("inf")
+        for i in ctx.on_ids:
+            latency = ctx.estimated_latency_seconds(i)
+            if latency < fastest_latency:
+                fastest, fastest_latency = i, latency
+            if ctx.sla_seconds is not None and latency \
+                    > ctx.sla_seconds * self.sla_slack_fraction:
+                continue
+            cost = ctx.marginal_joules(i)
+            if cost < best_cost:
+                best, best_cost = i, cost
+        return best if best >= 0 else fastest
 
 
 #: policy name -> factory, for spec knobs and third-party extension
@@ -145,17 +306,49 @@ def register_policy(factory: Callable[..., DispatchPolicy],
 
 for _cls in (RoundRobin, LeastLoaded, PowerAwarePacking):
     register_policy(_cls)
+register_policy(CostAware)
 
 
-def make_policy(policy, **kwargs) -> DispatchPolicy:
-    """Resolve a policy name (or pass a ready instance through)."""
-    if isinstance(policy, DispatchPolicy):
-        return policy
+def _lookup_policy(policy) -> Callable[..., DispatchPolicy]:
     try:
-        factory = DISPATCH_POLICIES[policy]
+        return DISPATCH_POLICIES[policy]
     except (KeyError, TypeError):
         known = ", ".join(sorted(DISPATCH_POLICIES))
         raise ServiceError(
             f"unknown dispatch policy {policy!r}; registered: {known}"
         ) from None
+
+
+def policy_knob_names(policy: str) -> set[str]:
+    """Knob names the registered ``policy``'s factory declares in its
+    signature — the policy analogue of
+    :meth:`repro.runner.registry.ExperimentDef.knob_names`."""
+    params = inspect.signature(_lookup_policy(policy)).parameters
+    return {p.name for p in params.values()
+            if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)}
+
+
+def make_policy(policy, **kwargs) -> DispatchPolicy:
+    """Resolve a policy name (or pass a ready instance through).
+
+    Factories declare their knobs through their signatures; unknown
+    ``kwargs`` are rejected by name, same one-liner style as the
+    runner's knob validation.
+    """
+    if isinstance(policy, DispatchPolicy):
+        if kwargs:
+            raise ServiceError(
+                f"policy {policy.name!r} is already constructed; knob(s) "
+                f"{', '.join(map(repr, sorted(kwargs)))} cannot apply")
+        return policy
+    factory = _lookup_policy(policy)
+    params = inspect.signature(factory).parameters
+    if not any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        valid = policy_knob_names(policy)
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ServiceError(
+                f"unknown knob(s) {', '.join(map(repr, unknown))} for "
+                f"policy {policy!r}; valid knobs: "
+                f"{', '.join(sorted(valid))}")
     return factory(**kwargs)

@@ -11,18 +11,59 @@ are registered in :mod:`repro.runner.registry`, so::
 serves the full 3-policy × 350k-query grid (1.05 M queries) through
 the ordinary Runner machinery: process pool, content-addressed cache,
 structured events, optional telemetry traces.
+
+:func:`hetero_point` is the heterogeneous-fleet analogue — one named
+fleet *composition* (:data:`COMPOSITIONS`) serving one load- and
+SLA-scaled stream — and :func:`hetero_aggregate` folds the
+``svc_hetero`` composition × load × SLA grid into a
+:class:`HeteroSweepResult`, the experiment that reproduces the
+wimpy-vs-beefy crossover of Lang et al. (arXiv 1208.1933): wimpy
+fleets win Joules-per-query at low utilization on their lower idle
+floor, beefy fleets win once utilization (or a tightened SLA) makes
+the wimpy marginal cost — watts divided by a sub-unity speed factor —
+the dominant term.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.service.autoscale import Autoscaler
-from repro.service.dispatch import make_policy
+from repro.service.dispatch import make_policy, policy_knob_names
 from repro.service.fleet import simulate_service
 from repro.service.node import NodePowerModel
-from repro.service.report import ServiceSweepResult
-from repro.service.workload import build_stream
+from repro.service.report import (ServiceError, ServiceReport,
+                                  ServiceSweepResult)
+from repro.service.spec import FleetSpec
+from repro.service.workload import DEFAULT_TENANTS, build_stream
+
+#: named fleet compositions for the ``svc_hetero`` sweep, sized for
+#: equal speed-1 capacity (beefy 9.0, wimpy 20 × 0.45 = 9.0, mixed
+#: 5 + 9 × 0.45 = 9.05) so the axis compares *composition*, not size
+COMPOSITIONS: dict[str, tuple[tuple[str, int], ...]] = {
+    "beefy": (("beefy", 9),),
+    "wimpy": (("wimpy", 20),),
+    "mixed": (("beefy", 5), ("wimpy", 9)),
+}
+
+
+def composition_fleet(composition: str) -> FleetSpec:
+    """Resolve a :data:`COMPOSITIONS` name into its :class:`FleetSpec`."""
+    try:
+        parts = COMPOSITIONS[composition]
+    except KeyError:
+        raise ServiceError(
+            f"unknown composition {composition!r}; known: "
+            f"{', '.join(sorted(COMPOSITIONS))}") from None
+    return FleetSpec.of(**dict(parts))
+
+
+def _dispatch_for(policy: str, knobs: Mapping[str, Any]):
+    """Build the policy, passing only the knobs its factory declares."""
+    accepted = policy_knob_names(policy)
+    return make_policy(policy, **{k: v for k, v in knobs.items()
+                                  if k in accepted})
 
 
 def service_point(policy: str = "power_aware",
@@ -31,6 +72,7 @@ def service_point(policy: str = "power_aware",
                   profile: str = "commodity",
                   pack_backlog_seconds: float = 0.2,
                   admission_limit_seconds: Optional[float] = None,
+                  sla_slack_fraction: float = 1.0,
                   target_utilization: float = 0.55,
                   epoch_seconds: float = 30.0,
                   min_nodes: int = 2,
@@ -40,25 +82,208 @@ def service_point(policy: str = "power_aware",
     The node power curve is calibrated from the named hardware
     ``profile`` (idle/peak watts read off the metered server model), so
     fleet Joules are in the same currency as every single-node
-    experiment.
+    experiment.  Policy knobs are filtered through
+    :func:`~repro.service.dispatch.policy_knob_names`, so each policy
+    only sees the knobs its factory declares.
     """
     model = NodePowerModel.from_server(profile)
+    fleet = FleetSpec.homogeneous(nodes, model)
     stream = build_stream(queries, seed=seed)
-    kwargs: dict[str, Any] = {
-        "admission_limit_seconds": admission_limit_seconds}
-    if policy == "power_aware":
-        kwargs["pack_backlog_seconds"] = pack_backlog_seconds
-    dispatch = make_policy(policy, **kwargs)
+    dispatch = _dispatch_for(policy, {
+        "pack_backlog_seconds": pack_backlog_seconds,
+        "admission_limit_seconds": admission_limit_seconds,
+        "sla_slack_fraction": sla_slack_fraction,
+    })
     autoscaler = Autoscaler(
         model,
         epoch_seconds=epoch_seconds,
         target_utilization=target_utilization,
         min_nodes=min_nodes,
     ) if dispatch.autoscaled else None
-    return simulate_service(stream, n_nodes=nodes, policy=dispatch,
-                            model=model, autoscaler=autoscaler)
+    return simulate_service(stream, fleet=fleet, policy=dispatch,
+                            autoscaler=autoscaler)
+
+
+def hetero_point(composition: str = "mixed",
+                 policy: str = "power_aware",
+                 queries: int = 40_000,
+                 load: float = 1.0,
+                 sla_scale: float = 1.0,
+                 pack_backlog_seconds: float = 0.2,
+                 admission_limit_seconds: Optional[float] = None,
+                 sla_slack_fraction: float = 1.0,
+                 target_utilization: float = 0.55,
+                 epoch_seconds: float = 30.0,
+                 min_nodes: int = 2,
+                 seed: int = 0) -> Any:
+    """Serve one load- and SLA-scaled stream on one named composition.
+
+    ``load`` multiplies every tenant's arrival rate (per-tenant
+    ``SeedSequence`` lanes keep the stream *structure* fixed while the
+    inter-arrival gaps scale), and ``sla_scale`` multiplies every
+    tenant's p95 SLA — the axis that prices wimpy nodes out of
+    latency-tight regimes even where their Joules would win.
+    """
+    if load <= 0:
+        raise ServiceError("load multiplier must be positive")
+    if sla_scale <= 0:
+        raise ServiceError("sla_scale must be positive")
+    fleet = composition_fleet(composition)
+    tenants = tuple(
+        replace(t, rate_per_s=t.rate_per_s * load,
+                sla_p95_seconds=t.sla_p95_seconds * sla_scale)
+        for t in DEFAULT_TENANTS)
+    stream = build_stream(queries, tenants=tenants, seed=seed)
+    dispatch = _dispatch_for(policy, {
+        "pack_backlog_seconds": pack_backlog_seconds,
+        "admission_limit_seconds": admission_limit_seconds,
+        "sla_slack_fraction": sla_slack_fraction,
+    })
+    autoscaler = Autoscaler(
+        fleet.classes[0].model,
+        epoch_seconds=epoch_seconds,
+        target_utilization=target_utilization,
+        min_nodes=min_nodes,
+    ) if dispatch.autoscaled else None
+    return simulate_service(stream, fleet=fleet, policy=dispatch,
+                            autoscaler=autoscaler)
 
 
 def svc_aggregate(points: Sequence[Any]) -> ServiceSweepResult:
     """Fold a finished policy sweep into one comparable result."""
     return ServiceSweepResult(reports=[p.report for p in points])
+
+
+@dataclass
+class HeteroSweepResult:
+    """A composition × load × SLA sweep folded into one frontier.
+
+    Parallel arrays: point *k* ran ``compositions[k]`` at load
+    multiplier ``loads[k]`` and SLA scale ``sla_scales[k]`` and
+    produced ``reports[k]``.  :meth:`crossover_rows` reads the
+    arXiv 1208.1933 verdict off the grid — which composition wins
+    Joules per query at each operating point — and :meth:`headline`
+    states whether the winner actually flips across the load axis.
+    """
+
+    compositions: list[str]
+    loads: list[float]
+    sla_scales: list[float]
+    reports: list[ServiceReport]
+
+    def __post_init__(self) -> None:
+        n = len(self.reports)
+        if not (len(self.compositions) == len(self.loads)
+                == len(self.sla_scales) == n):
+            raise ServiceError(
+                "hetero sweep arrays disagree: "
+                f"{len(self.compositions)} compositions, "
+                f"{len(self.loads)} loads, {len(self.sla_scales)} "
+                f"sla_scales, {n} reports")
+
+    def report_at(self, composition: str, load: float,
+                  sla_scale: float) -> ServiceReport:
+        for c, l, s, report in zip(self.compositions, self.loads,
+                                   self.sla_scales, self.reports):
+            if c == composition and l == load and s == sla_scale:
+                return report
+        ran = ", ".join(f"({c}, {l}, {s})"
+                        for c, l, s in zip(self.compositions, self.loads,
+                                           self.sla_scales))
+        raise ServiceError(
+            f"sweep has no point ({composition!r}, {load!r}, "
+            f"{sla_scale!r}); ran: {ran}")
+
+    def operating_points(self) -> list[tuple[float, float]]:
+        """Distinct (load, sla_scale) pairs, relaxed-SLA first, then
+        ascending load."""
+        pairs = sorted({(l, s) for l, s in zip(self.loads,
+                                               self.sla_scales)},
+                       key=lambda p: (-p[1], p[0]))
+        return pairs
+
+    def rows(self) -> list[tuple]:
+        """Catalog rows: composition, load, sla_scale, J/query, p95,
+        SLA verdict, energy."""
+        out = []
+        for c, l, s, r in zip(self.compositions, self.loads,
+                              self.sla_scales, self.reports):
+            out.append((c, l, s, r.joules_per_query,
+                        r.p95_latency_seconds,
+                        "met" if r.slas_met else "MISSED",
+                        r.energy_joules))
+        return out
+
+    def crossover_rows(self) -> list[tuple]:
+        """Per operating point: beefy J/q, wimpy J/q, and the winner
+        (SLA-respecting: a composition that misses SLAs cannot win)."""
+        rows = []
+        for load, sla_scale in self.operating_points():
+            try:
+                beefy = self.report_at("beefy", load, sla_scale)
+                wimpy = self.report_at("wimpy", load, sla_scale)
+            except ServiceError:
+                continue
+            if wimpy.slas_met and not beefy.slas_met:
+                winner = "wimpy"
+            elif beefy.slas_met and not wimpy.slas_met:
+                winner = "beefy"
+            else:
+                winner = ("wimpy" if wimpy.joules_per_query
+                          < beefy.joules_per_query else "beefy")
+            rows.append((load, sla_scale, beefy.joules_per_query,
+                         wimpy.joules_per_query, winner))
+        return rows
+
+    def headline(self) -> dict[str, Any]:
+        """The acceptance numbers: winners at the load extremes of the
+        most relaxed SLA, and whether the crossover actually happens."""
+        rows = self.crossover_rows()
+        if not rows:
+            raise ServiceError(
+                "sweep has no (beefy, wimpy) pair at any operating "
+                "point; nothing to cross over")
+        relaxed = max(r[1] for r in rows)
+        at_relaxed = [r for r in rows if r[1] == relaxed]
+        low, high = at_relaxed[0], at_relaxed[-1]
+        return {
+            "low_load": low[0],
+            "low_load_winner": low[4],
+            "high_load": high[0],
+            "high_load_winner": high[4],
+            "crossover": low[4] != high[4],
+            "sla_scale": relaxed,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"compositions": list(self.compositions),
+                "loads": list(self.loads),
+                "sla_scales": list(self.sla_scales),
+                "reports": [r.to_dict() for r in self.reports]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HeteroSweepResult":
+        return cls(
+            compositions=list(data.get("compositions", [])),
+            loads=list(data.get("loads", [])),
+            sla_scales=list(data.get("sla_scales", [])),
+            reports=[ServiceReport.from_dict(r)
+                     for r in data.get("reports", [])])
+
+
+def hetero_aggregate(points: Sequence[Any]) -> HeteroSweepResult:
+    """Fold finished hetero points into the composition frontier."""
+    order = {name: i for i, name in enumerate(COMPOSITIONS)}
+    ordered = sorted(
+        points,
+        key=lambda p: (order.get(str(p.knobs.get("composition", "mixed")),
+                                 len(order)),
+                       float(p.knobs.get("load", 1.0)),
+                       -float(p.knobs.get("sla_scale", 1.0))))
+    return HeteroSweepResult(
+        compositions=[str(p.knobs.get("composition", "mixed"))
+                      for p in ordered],
+        loads=[float(p.knobs.get("load", 1.0)) for p in ordered],
+        sla_scales=[float(p.knobs.get("sla_scale", 1.0))
+                    for p in ordered],
+        reports=[p.report for p in ordered])

@@ -1,8 +1,9 @@
 """The fleet simulator: millions of queries against a node cluster.
 
 :func:`simulate_service` plays an :class:`~repro.service.workload.
-ArrivalStream` against ``n_nodes`` :class:`~repro.service.node.
-FleetNode` pipes under a :class:`~repro.service.dispatch.
+ArrivalStream` against a fleet declared by a
+:class:`~repro.service.spec.FleetSpec` — homogeneous or a composition
+of node classes — under a :class:`~repro.service.dispatch.
 DispatchPolicy`, with the :class:`~repro.service.autoscale.Autoscaler`
 stepping at epoch boundaries for policies that want it.  Everything is
 closed-form: nodes are FCFS single pipes (``busy_until`` floats), so
@@ -20,20 +21,59 @@ transition into the device step functions, and opens a root
 :class:`~repro.telemetry.spans.EnergySpan` per powered-on interval per
 node — so ``python -m repro.runner trace svc_policies`` shows the same
 per-node timelines and Joules any metered experiment would.
+
+The legacy ``n_nodes=``/``model=`` parameters still work as deprecated
+shims that build a homogeneous :class:`FleetSpec` (they warn on use,
+like the :mod:`repro` facade's PEP 562 shims warn on access).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.service.autoscale import Autoscaler
-from repro.service.dispatch import DispatchPolicy, make_policy
+from repro.service.dispatch import (DispatchContext, DispatchPolicy,
+                                    make_policy)
 from repro.service.node import FleetNode, NodePowerModel
 from repro.service.report import (ServiceError, ServiceReport, TenantStats,
-                                  quantile)
+                                  quantile, rollup_classes)
+from repro.service.spec import FleetSpec
 from repro.service.workload import ArrivalStream
+
+
+def _resolve_fleet(fleet: Optional[FleetSpec],
+                   n_nodes: Optional[int],
+                   model: Optional[NodePowerModel],
+                   default_nodes: int = 16) -> FleetSpec:
+    """The v2 surface contract: ``fleet=`` is primary, the legacy
+    ``n_nodes=``/``model=`` pair is a deprecated shim building a
+    homogeneous spec, and mixing the two is an error."""
+    if fleet is not None:
+        if n_nodes is not None or model is not None:
+            raise ServiceError(
+                "pass either fleet= or the deprecated n_nodes=/model= "
+                "shims, not both")
+        if not isinstance(fleet, FleetSpec):
+            raise ServiceError(
+                f"fleet must be a FleetSpec, got {type(fleet).__name__}")
+        return fleet
+    if n_nodes is None and model is None:
+        return FleetSpec.homogeneous(default_nodes)
+    warnings.warn(
+        "the n_nodes=/model= parameters are deprecated; pass "
+        "fleet=FleetSpec.homogeneous(n, model) (or FleetSpec.of(...)) "
+        "instead",
+        DeprecationWarning, stacklevel=3)
+    return FleetSpec.homogeneous(
+        n_nodes if n_nodes is not None else default_nodes, model)
+
+
+def _build_nodes(fleet: FleetSpec) -> list[FleetNode]:
+    return [FleetNode(name, model, on=True, node_class=class_name)
+            for name, class_name, model in fleet.members()]
 
 
 class _TelemetryMirror:
@@ -42,11 +82,13 @@ class _TelemetryMirror:
     Per-node transitions are time-ordered (a FCFS pipe starts queries
     in dispatch order), so each device's power step function is
     recorded directly; the shared clock only advances once, at
-    :meth:`finish`, to the fleet's end time.
+    :meth:`finish`, to the fleet's end time.  Every node carries its
+    own :class:`NodePowerModel`, so a heterogeneous fleet's devices
+    draw their class's watts.
     """
 
-    def __init__(self, collector, n_nodes: int,
-                 model: NodePowerModel, start_on: bool) -> None:
+    def __init__(self, collector, fleet_nodes: Sequence[FleetNode],
+                 start_on: bool) -> None:
         from repro.hardware.device import Device
         from repro.hardware.meter import EnergyMeter
         from repro.sim import Simulation
@@ -55,25 +97,26 @@ class _TelemetryMirror:
         self.sim = Simulation()
         self.meter = EnergyMeter(self.sim)  # self-registers while captured
         self.devices = []
-        self.model = model
-        self._spans: list = [None] * n_nodes
-        for i in range(n_nodes):
-            device = Device(self.sim, f"svc.node{i:03d}",
-                            initial_power_watts=(model.idle_watts
+        self.models = [node.model for node in fleet_nodes]
+        self._spans: list = [None] * len(fleet_nodes)
+        for i, node in enumerate(fleet_nodes):
+            device = Device(self.sim, f"svc.{node.name}",
+                            initial_power_watts=(node.model.idle_watts
                                                  if start_on else 0.0))
             self.meter.attach(device)
             self.devices.append(device)
             if start_on:
                 self._spans[i] = collector.stack.open(
-                    f"svc.node{i:03d}.on", 0.0, {}, root=True)
+                    f"svc.{node.name}.on", 0.0, {}, root=True)
 
     def serve(self, i: int, start: float, end: float) -> None:
+        model = self.models[i]
         series = self.devices[i].power_series
-        series.record(start, self.model.peak_watts)
-        series.record(end, self.model.idle_watts)
+        series.record(start, model.peak_watts)
+        series.record(end, model.idle_watts)
 
     def power_on(self, i: int, now: float) -> None:
-        model = self.model
+        model = self.models[i]
         series = self.devices[i].power_series
         boot_watts = (model.boot_joules / model.boot_seconds
                       if model.boot_seconds > 0 else 0.0)
@@ -84,7 +127,7 @@ class _TelemetryMirror:
         self.collector.count("svc.boots")
 
     def power_off(self, i: int, now: float) -> None:
-        model = self.model
+        model = self.models[i]
         series = self.devices[i].power_series
         drain_watts = (model.drain_joules / model.drain_seconds
                        if model.drain_seconds > 0 else 0.0)
@@ -108,16 +151,20 @@ class _TelemetryMirror:
 
 
 def simulate_service(stream: ArrivalStream,
-                     n_nodes: int = 16,
+                     fleet: Optional[FleetSpec] = None,
                      policy: DispatchPolicy | str = "power_aware",
-                     model: Optional[NodePowerModel] = None,
                      autoscaler: Optional[Autoscaler] = None,
                      faults=None,
                      retry=None,
                      shed=None,
+                     n_nodes: Optional[int] = None,
+                     model: Optional[NodePowerModel] = None,
                      **policy_kwargs) -> ServiceReport:
-    """Serve ``stream`` on an ``n_nodes`` fleet; returns the report.
+    """Serve ``stream`` on the ``fleet``; returns the report.
 
+    ``fleet`` is a :class:`~repro.service.spec.FleetSpec` (default: 16
+    calibrated ``commodity`` nodes); the legacy ``n_nodes=``/``model=``
+    pair still works as a deprecated shim for a homogeneous fleet.
     ``policy`` may be a registered name or a ready
     :class:`DispatchPolicy`.  An ``autoscaler`` is only engaged when
     the policy declares ``autoscaled`` (packing); the all-on baselines
@@ -137,36 +184,35 @@ def simulate_service(stream: ArrivalStream,
     if faults is not None:
         from repro.faults.engine import simulate_faulty_service
         return simulate_faulty_service(
-            stream, faults, n_nodes=n_nodes, policy=policy, model=model,
+            stream, faults, fleet=fleet, policy=policy,
             autoscaler=autoscaler, retry=retry, shed=shed,
-            **policy_kwargs)
+            n_nodes=n_nodes, model=model, **policy_kwargs)
     if retry is not None or shed is not None:
         raise ServiceError("retry/shed policies only apply to a fault "
                            "run: pass a FaultSchedule as faults=")
-    if n_nodes < 1:
-        raise ServiceError("need at least one node")
+    fleet = _resolve_fleet(fleet, n_nodes, model)
     if len(stream) == 0:
         raise ServiceError("empty arrival stream")
-    if model is None:
-        model = NodePowerModel.from_server("commodity")
     policy = make_policy(policy, **policy_kwargs)
     if policy.autoscaled and autoscaler is None:
-        autoscaler = Autoscaler(model)
+        autoscaler = Autoscaler(fleet.classes[0].model)
     if not policy.autoscaled:
         autoscaler = None
 
-    nodes = [FleetNode(f"node{i:03d}", model, on=True)
-             for i in range(n_nodes)]
-    on_ids = list(range(n_nodes))
+    nodes = _build_nodes(fleet)
+    n_total = len(nodes)
+    on_ids = list(range(n_total))
 
     from repro.telemetry import current_collector
     collector = current_collector()
     mirror = (None if collector is None else
-              _TelemetryMirror(collector, n_nodes, model, start_on=True))
+              _TelemetryMirror(collector, nodes, start_on=True))
 
     times = stream.times.tolist()
     services = stream.service_seconds.tolist()
     tenant_idx = stream.tenant_index
+    sla_of = np.array([t.sla_p95_seconds for t in stream.tenants])
+    slas = sla_of[tenant_idx].tolist()
     n = len(times)
     latencies = np.empty(n)
     admitted = np.ones(n, dtype=bool)
@@ -185,7 +231,7 @@ def simulate_service(stream: ArrivalStream,
         s = services[k]
         if autoscaler is not None:
             autoscaler.observe(s)
-        i = policy.select(nodes, on_ids, t, s)
+        i = policy.route(DispatchContext(nodes, on_ids, t, s, slas[k]))
         node = nodes[i]
         if not policy.admits(node, t):
             admitted[k] = False
@@ -227,7 +273,7 @@ def simulate_service(stream: ArrivalStream,
 
     report = ServiceReport(
         policy=policy.name,
-        n_nodes=n_nodes,
+        n_nodes=n_total,
         queries_offered=n,
         queries_completed=int(admitted.sum()),
         queries_rejected=int((~admitted).sum()),
@@ -240,6 +286,8 @@ def simulate_service(stream: ArrivalStream,
         node_seconds_on=sum(s.on_seconds for s in node_stats),
         tenants=tenants,
         nodes=node_stats,
+        classes=rollup_classes(node_stats),
+        fleet=fleet.to_dict(),
     )
     if mirror is not None:
         mirror.finish(end, report)

@@ -26,7 +26,8 @@ from repro.relational.executor import ExecutionContext, Executor
 from repro.relational.operators import TableScan
 from repro.relational.schema import Column, TableSchema
 from repro.relational.types import DataType
-from repro.service.dispatch import DispatchPolicy, make_policy
+from repro.service.dispatch import (DispatchContext, DispatchPolicy,
+                                    make_policy)
 from repro.service.node import FleetNode, NodePowerModel
 from repro.service.report import ServiceError
 from repro.service.workload import (ArrivalStream, QueryClass, Tenant,
@@ -129,7 +130,7 @@ def run_micro_fleet(policy: DispatchPolicy | str = "round_robin",
     for k in range(n):
         t = float(stream.times[k])
         s = float(stream.service_seconds[k])
-        i = policy.select(estimators, on_ids, t, s)
+        i = policy.route(DispatchContext(estimators, on_ids, t, s))
         if not policy.admits(estimators[i], t):
             continue
         estimators[i].serve(t, s)

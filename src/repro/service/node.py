@@ -21,6 +21,7 @@ path price Joules identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
 
 from repro.service.report import NodeStats, ServiceError
 
@@ -34,8 +35,10 @@ class NodePowerModel:
     peak_watts: float = 350.0
     #: seconds a powered-on node is unavailable while booting
     boot_seconds: float = 20.0
-    #: energy drawn across the boot window (defaults to peak draw)
-    boot_joules: float = 350.0 * 20.0
+    #: energy drawn across the boot window; ``None`` prices it at peak
+    #: draw for the window, tracking ``peak_watts``/``boot_seconds``
+    #: overrides instead of assuming the default 350 W / 20 s box
+    boot_joules: Optional[float] = None
     #: seconds and energy to flush/park state on power-off
     drain_seconds: float = 5.0
     drain_joules: float = 1_000.0
@@ -43,6 +46,9 @@ class NodePowerModel:
     speed_factor: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.boot_joules is None:
+            object.__setattr__(self, "boot_joules",
+                               self.peak_watts * self.boot_seconds)
         if self.idle_watts < 0 or self.peak_watts < self.idle_watts:
             raise ServiceError(
                 f"{self.name}: need 0 <= idle <= peak watts, got "
@@ -145,6 +151,22 @@ class NodePowerModel:
         """A copy with the drain lump replaced (metered calibration)."""
         return replace(self, drain_joules=joules)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "idle_watts": self.idle_watts,
+            "peak_watts": self.peak_watts,
+            "boot_seconds": self.boot_seconds,
+            "boot_joules": self.boot_joules,
+            "drain_seconds": self.drain_seconds,
+            "drain_joules": self.drain_joules,
+            "speed_factor": self.speed_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodePowerModel":
+        return cls(**dict(data))
+
 
 class FleetNode:
     """One FCFS serving pipe with closed-form energy accounting."""
@@ -153,12 +175,14 @@ class FleetNode:
                  "_interval_busy", "_interval_boot", "on_seconds",
                  "busy_seconds", "energy_joules", "boots", "completed",
                  "crashes", "_interval_active_joules", "_active_energy",
-                 "_finalized")
+                 "_finalized", "node_class")
 
     def __init__(self, name: str, model: NodePowerModel,
-                 on: bool = True, at: float = 0.0) -> None:
+                 on: bool = True, at: float = 0.0,
+                 node_class: str = "node") -> None:
         self.name = name
         self.model = model
+        self.node_class = node_class
         self.on = on
         #: earliest instant the pipe can start the next query
         self.busy_until = at if on else 0.0
@@ -339,4 +363,5 @@ class FleetNode:
             energy_joules=self.energy_joules,
             boots=self.boots,
             crashes=self.crashes,
+            node_class=self.node_class,
         )

@@ -104,6 +104,8 @@ class NodeStats:
     energy_joules: float
     boots: int
     crashes: int = 0
+    #: the :class:`~repro.service.spec.NodeClass` this node belongs to
+    node_class: str = "node"
 
     @property
     def utilization(self) -> float:
@@ -121,11 +123,87 @@ class NodeStats:
             "energy_joules": self.energy_joules,
             "boots": self.boots,
             "crashes": self.crashes,
+            "node_class": self.node_class,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NodeStats":
         return cls(**dict(data))
+
+
+@dataclass
+class ClassStats:
+    """One node class's rollup: the composition-level duty ledger.
+
+    The heterogeneous-fleet reading of the §2.4 story lives here: which
+    class carried the queries, which class burned the Joules, which
+    class the autoscaler kept booting.  Rolled up from
+    :class:`NodeStats` by :func:`rollup_classes`; nodes of duplicate
+    class names merge into one row.
+    """
+
+    node_class: str
+    count: int
+    completed: int
+    on_seconds: float
+    busy_seconds: float
+    energy_joules: float
+    boots: int
+    crashes: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the class's powered-on node-seconds."""
+        if self.on_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / self.on_seconds
+
+    @property
+    def joules_per_query(self) -> float:
+        """Energy this class spent per query it completed."""
+        if self.completed <= 0:
+            raise ServiceError(
+                f"class {self.node_class!r} completed no queries: "
+                "Joules/query undefined")
+        return self.energy_joules / self.completed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node_class": self.node_class,
+            "count": self.count,
+            "completed": self.completed,
+            "on_seconds": self.on_seconds,
+            "busy_seconds": self.busy_seconds,
+            "energy_joules": self.energy_joules,
+            "boots": self.boots,
+            "crashes": self.crashes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClassStats":
+        return cls(**dict(data))
+
+
+def rollup_classes(nodes: list[NodeStats]) -> list["ClassStats"]:
+    """Fold per-node ledgers into per-class rows (first-seen order)."""
+    by_class: dict[str, ClassStats] = {}
+    for n in nodes:
+        row = by_class.get(n.node_class)
+        if row is None:
+            by_class[n.node_class] = ClassStats(
+                node_class=n.node_class, count=1, completed=n.completed,
+                on_seconds=n.on_seconds, busy_seconds=n.busy_seconds,
+                energy_joules=n.energy_joules, boots=n.boots,
+                crashes=n.crashes)
+        else:
+            row.count += 1
+            row.completed += n.completed
+            row.on_seconds += n.on_seconds
+            row.busy_seconds += n.busy_seconds
+            row.energy_joules += n.energy_joules
+            row.boots += n.boots
+            row.crashes += n.crashes
+    return list(by_class.values())
 
 
 @dataclass
@@ -208,6 +286,11 @@ class ServiceReport:
     nodes: list[NodeStats] = field(default_factory=list)
     #: chaos ledger; None on a fault-free run
     faults: Optional[FaultStats] = None
+    #: per-node-class rollups (one row per class, declaration order)
+    classes: list[ClassStats] = field(default_factory=list)
+    #: the serialized :class:`~repro.service.spec.FleetSpec` that built
+    #: the fleet (provenance; None on reports from older ledgers)
+    fleet: Optional[dict[str, Any]] = None
 
     # -- derived metrics (empty runs raise, like core.metrics) --------
 
@@ -269,6 +352,14 @@ class ServiceReport:
                 return stats
         raise ServiceError(f"report has no tenant {name!r}")
 
+    def node_class(self, name: str) -> ClassStats:
+        for stats in self.classes:
+            if stats.node_class == name:
+                return stats
+        known = ", ".join(c.node_class for c in self.classes) or "(none)"
+        raise ServiceError(
+            f"report has no node class {name!r}; classes: {known}")
+
     def rows(self) -> list[tuple]:
         """Per-tenant SLA rows for the table printers."""
         return [
@@ -298,6 +389,8 @@ class ServiceReport:
             "nodes": [n.to_dict() for n in self.nodes],
             "faults": (self.faults.to_dict()
                        if self.faults is not None else None),
+            "classes": [c.to_dict() for c in self.classes],
+            "fleet": self.fleet,
         }
 
     @classmethod
@@ -310,6 +403,9 @@ class ServiceReport:
         faults = data.get("faults")
         payload["faults"] = (FaultStats.from_dict(faults)
                              if faults is not None else None)
+        payload["classes"] = [ClassStats.from_dict(c)
+                              for c in data.get("classes", [])]
+        payload["fleet"] = data.get("fleet")
         return cls(**payload)
 
 

@@ -20,7 +20,8 @@ from repro.faults import (FaultEvent, FaultSchedule, RetryPolicy,
 from repro.faults.experiments import ChaosSweepResult
 from repro.runner import ExperimentSpec, ResultCache, Runner
 from repro.runner.registry import list_experiments
-from repro.service import (ArrivalStream, NodePowerModel, QueryClass,
+from repro.service import (ArrivalStream, FleetSpec, NodePowerModel,
+                           QueryClass,
                            Tenant, build_stream, simulate_service)
 from repro.service.autoscale import Autoscaler
 from repro.service.report import ServiceError
@@ -128,8 +129,8 @@ class TestThrottleSemantics:
                        duration=10.0, severity=0.5),))
         with capture() as collector:
             report = simulate_faulty_service(
-                stream, schedule, n_nodes=1, policy="round_robin",
-                model=MODEL)
+                stream, schedule, fleet=FleetSpec.homogeneous(1, MODEL),
+                policy="round_robin")
         assert report.p50_latency_seconds == pytest.approx(2.0)
         busy_watts = 50.0 + 70.0 * 0.5**3
         expected = 50.0 * report.makespan_seconds \
@@ -150,8 +151,8 @@ class TestTimeoutSemantics:
         retry = RetryPolicy(max_attempts=3, base_backoff_seconds=0.05,
                             timeout_detect_seconds=0.5)
         report = simulate_faulty_service(
-            stream, schedule, n_nodes=2, policy="round_robin",
-            model=MODEL, retry=retry)
+            stream, schedule, fleet=FleetSpec.homogeneous(2, MODEL),
+            policy="round_robin", retry=retry)
         assert report.queries_completed == 1
         assert report.faults.timeouts == 1
         assert report.faults.retries == 1
@@ -166,8 +167,8 @@ class TestTimeoutSemantics:
         retry = RetryPolicy(max_attempts=2, base_backoff_seconds=0.05,
                             timeout_detect_seconds=0.5)
         report = simulate_faulty_service(
-            stream, schedule, n_nodes=1, policy="round_robin",
-            model=MODEL, retry=retry)
+            stream, schedule, fleet=FleetSpec.homogeneous(1, MODEL),
+            policy="round_robin", retry=retry)
         assert report.queries_completed == 0
         assert report.queries_rejected == 1
         assert report.faults.timeouts == 2
@@ -187,8 +188,8 @@ class TestCrashSemantics:
         retry = RetryPolicy(max_attempts=1)
         with capture() as collector:
             report = simulate_faulty_service(
-                stream, schedule, n_nodes=1, policy="round_robin",
-                model=MODEL, retry=retry)
+                stream, schedule, fleet=FleetSpec.homogeneous(1, MODEL),
+                policy="round_robin", retry=retry)
         assert report.faults.crashes == 1
         assert report.faults.queries_lost == 3
         assert report.queries_completed == 0
@@ -208,8 +209,8 @@ class TestCrashSemantics:
             FaultEvent(kind="crash", node=0, start=3.0, duration=5.0),))
         retry = RetryPolicy(max_attempts=4, base_backoff_seconds=0.05)
         report = simulate_faulty_service(
-            stream, schedule, n_nodes=1, policy="round_robin",
-            model=MODEL, retry=retry)
+            stream, schedule, fleet=FleetSpec.homogeneous(1, MODEL),
+            policy="round_robin", retry=retry)
         assert report.queries_completed == 3
         assert report.faults.queries_lost == 0
         assert report.faults.queries_recovered == 3
@@ -233,7 +234,7 @@ class TestServiceEntryPoint:
         schedule = build_fault_schedule(
             4, max(stream.duration_seconds, 1.0) * 1.2, seed=0,
             intensity=2.0)
-        report = simulate_service(stream, n_nodes=4,
+        report = simulate_service(stream, fleet=FleetSpec.homogeneous(4),
                                   policy="power_aware", faults=schedule)
         assert report.faults is not None
         assert report.to_dict()["faults"] is not None
@@ -241,15 +242,16 @@ class TestServiceEntryPoint:
     def test_retry_without_faults_is_an_error(self):
         stream = build_stream(100, seed=0)
         with pytest.raises(ServiceError, match="faults"):
-            simulate_service(stream, n_nodes=2, retry=RetryPolicy())
+            simulate_service(stream, fleet=FleetSpec.homogeneous(2),
+                             retry=RetryPolicy())
 
     def test_schedule_must_match_fleet_width(self):
         stream = one_tenant_stream([0.1], [1.0])
         schedule = FaultSchedule(n_nodes=4, horizon_seconds=10.0)
         from repro.faults import FaultError
         with pytest.raises(FaultError, match="covers 4 nodes"):
-            simulate_faulty_service(stream, schedule, n_nodes=2,
-                                    model=MODEL)
+            simulate_faulty_service(
+                stream, schedule, fleet=FleetSpec.homogeneous(2, MODEL))
 
 
 class TestAutoscalerEmergency:

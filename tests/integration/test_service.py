@@ -10,8 +10,9 @@ import pytest
 from repro.runner import ExperimentSpec, Runner, RunResult
 from repro.runner.registry import list_experiments
 from repro.runner.reports import REPORT_TYPES, decode_report, encode_report
-from repro.service import (NodePowerModel, ServiceSweepResult,
-                           build_stream, simulate_service)
+from repro.service import (FleetSpec, NodePowerModel,
+                           ServiceSweepResult, build_stream,
+                           simulate_service)
 
 #: small-but-real sweep: 3 policies x 20k queries on a 16-node fleet
 SMOKE_KNOBS = {"queries": 20_000}
@@ -91,7 +92,7 @@ class TestRunnerTransport:
                      "ServiceSweepResult"):
             assert name in REPORT_TYPES
         stream = build_stream(2_000, seed=7)
-        report = simulate_service(stream, n_nodes=4,
+        report = simulate_service(stream, fleet=FleetSpec.homogeneous(4),
                                   policy="least_loaded")
         payload = encode_report(report)
         assert payload["type"] == "ServiceReport"
@@ -108,7 +109,8 @@ class TestTelemetryMirror:
         from repro.telemetry import capture
         with capture() as collector:
             stream = build_stream(20_000, seed=3)
-            report = simulate_service(stream, n_nodes=16,
+            report = simulate_service(stream,
+                                      fleet=FleetSpec.homogeneous(16),
                                       policy="power_aware")
         trace = collector.finalize()
         fleet_devices = [d for d in trace.devices
@@ -122,7 +124,8 @@ class TestTelemetryMirror:
         from repro.telemetry import capture
         with capture() as collector:
             stream = build_stream(20_000, seed=3)
-            report = simulate_service(stream, n_nodes=16,
+            report = simulate_service(stream,
+                                      fleet=FleetSpec.homogeneous(16),
                                       policy="power_aware")
         trace = collector.finalize()
         on_spans = [s for s in trace.spans

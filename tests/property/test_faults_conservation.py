@@ -22,7 +22,7 @@ from hypothesis import strategies as st
 
 from repro.faults import build_fault_schedule, simulate_faulty_service
 from repro.faults.policies import RetryPolicy, ShedPolicy
-from repro.service import NodePowerModel, build_stream
+from repro.service import FleetSpec, NodePowerModel, build_stream
 from repro.service.micro import MICRO_CLASSES, MICRO_TENANT
 from repro.telemetry import capture
 
@@ -63,8 +63,8 @@ def test_every_query_is_accounted_for(queries, n_nodes, seed, intensity):
                                           intensity)
     for policy in POLICIES:
         report = simulate_faulty_service(
-            stream, schedule, n_nodes=n_nodes, policy=policy,
-            model=_model(), retry=retry, shed=shed)
+            stream, schedule, fleet=FleetSpec.homogeneous(n_nodes, _model()),
+            policy=policy, retry=retry, shed=shed)
         assert report.faults is not None
         # exact integer reconciliation: nothing forged, nothing dropped
         assert (report.queries_completed + report.queries_rejected
@@ -85,8 +85,9 @@ def test_metered_energy_matches_closed_form(queries, n_nodes, seed,
     for policy in POLICIES:
         with capture() as collector:
             report = simulate_faulty_service(
-                stream, schedule, n_nodes=n_nodes, policy=policy,
-                model=_model(), retry=retry, shed=shed)
+                stream, schedule,
+                fleet=FleetSpec.homogeneous(n_nodes, _model()),
+                policy=policy, retry=retry, shed=shed)
         trace = collector.finalize()
         metered = sum(d.energy_joules for d in trace.devices
                       if d.name.startswith("svc.node"))
@@ -104,8 +105,8 @@ def test_faulty_service_is_deterministic(queries, n_nodes, seed,
     dumps = []
     for _ in range(2):
         report = simulate_faulty_service(
-            stream, schedule, n_nodes=n_nodes, policy="power_aware",
-            model=_model(), retry=retry, shed=shed)
+            stream, schedule, fleet=FleetSpec.homogeneous(n_nodes, _model()),
+            policy="power_aware", retry=retry, shed=shed)
         dumps.append(json.dumps(report.to_dict(), sort_keys=True))
     assert dumps[0] == dumps[1]
 
@@ -121,8 +122,9 @@ def test_empty_schedule_degrades_to_fault_free_bookkeeping(
         n_nodes, max(stream.duration_seconds, 1.0), seed=seed,
         intensity=0.0)
     assert len(schedule) == 0
-    report = simulate_faulty_service(stream, schedule, n_nodes=n_nodes,
-                                     policy="power_aware", model=_model())
+    report = simulate_faulty_service(
+        stream, schedule, fleet=FleetSpec.homogeneous(n_nodes, _model()),
+        policy="power_aware")
     assert report.queries_completed == queries
     assert report.faults.queries_lost == 0
     assert report.faults.crashes == 0

@@ -1,0 +1,72 @@
+"""Property tests: fleet composition is declaration, not semantics.
+
+A homogeneous fleet split into several chunks of the same node class
+must serve byte-identically to the unsplit declaration — the
+heterogeneous dispatch/autoscaling machinery has to degenerate to the
+classic single-class path whenever every node is the same, bit for
+bit.  The only thing allowed to differ is the ``fleet`` block of the
+report (the declaration itself).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (FleetSpec, NodeClass, NodePowerModel,
+                           build_stream, simulate_service)
+
+POLICIES = ("round_robin", "least_loaded", "power_aware", "cost_aware")
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _model():
+    return NodePowerModel(name="prop", idle_watts=60.0, peak_watts=140.0,
+                          boot_seconds=5.0, drain_seconds=2.0,
+                          drain_joules=150.0)
+
+
+def _strip_fleet(payload):
+    return {k: v for k, v in payload.items() if k != "fleet"}
+
+
+@settings(max_examples=15, deadline=None)
+@given(queries=st.integers(min_value=300, max_value=800),
+       n_nodes=st.integers(min_value=2, max_value=6),
+       split=st.integers(min_value=1, max_value=5),
+       policy=st.sampled_from(POLICIES),
+       seed=seeds)
+def test_split_class_fleet_is_byte_identical_to_homogeneous(
+        queries, n_nodes, split, policy, seed):
+    split = min(split, n_nodes - 1)
+    stream = build_stream(queries, seed=seed)
+    model = _model()
+    whole = FleetSpec.homogeneous(n_nodes, model)
+    chunked = FleetSpec(classes=(
+        NodeClass(name="node", count=split, model=model),
+        NodeClass(name="node", count=n_nodes - split, model=model)))
+    a = simulate_service(stream, fleet=whole, policy=policy)
+    b = simulate_service(stream, fleet=chunked, policy=policy)
+    assert _strip_fleet(a.to_dict()) == _strip_fleet(b.to_dict())
+
+
+@settings(max_examples=10, deadline=None)
+@given(queries=st.integers(min_value=300, max_value=600),
+       counts=st.lists(st.integers(min_value=1, max_value=3),
+                       min_size=2, max_size=3),
+       seed=seeds)
+def test_class_rollups_conserve_the_fleet_ledger(queries, counts, seed):
+    stream = build_stream(queries, seed=seed)
+    models = [
+        NodePowerModel(name=f"m{i}", idle_watts=40.0 + 20.0 * i,
+                       peak_watts=120.0 + 30.0 * i,
+                       speed_factor=1.0 - 0.2 * i)
+        for i in range(len(counts))]
+    fleet = FleetSpec(classes=tuple(
+        NodeClass(name=f"m{i}", count=c, model=models[i])
+        for i, c in enumerate(counts)))
+    report = simulate_service(stream, fleet=fleet, policy="round_robin")
+    assert sum(c.count for c in report.classes) == fleet.n_nodes
+    assert sum(c.completed for c in report.classes) \
+        == report.queries_completed
+    assert abs(sum(c.energy_joules for c in report.classes)
+               - report.energy_joules) <= 1e-6 * report.energy_joules

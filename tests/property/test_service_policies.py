@@ -85,7 +85,8 @@ def test_micro_fleet_is_deterministic(queries, n_nodes, seed):
 def test_analytic_fleet_conserves_queries_and_energy(queries, n_nodes,
                                                      seed):
     """Closed-form fleet invariants on arbitrary streams."""
-    from repro.service import NodePowerModel, simulate_service
+    from repro.service import (FleetSpec, NodePowerModel,
+                               simulate_service)
 
     # a single tenant so tiny streams cannot starve a tenant (which
     # simulate_service rightly treats as an error)
@@ -95,8 +96,9 @@ def test_analytic_fleet_conserves_queries_and_energy(queries, n_nodes,
                            boot_seconds=1.0, boot_joules=120.0,
                            drain_seconds=0.5, drain_joules=25.0)
     for policy in POLICIES:
-        report = simulate_service(stream, n_nodes=n_nodes, policy=policy,
-                                  model=model)
+        report = simulate_service(
+            stream, fleet=FleetSpec.homogeneous(n_nodes, model),
+            policy=policy)
         assert report.queries_completed + report.queries_rejected \
             == queries
         assert report.queries_rejected == 0  # no admission limit set

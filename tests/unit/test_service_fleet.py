@@ -4,7 +4,7 @@ accounting, workload streams, dispatch policies, and the autoscaler."""
 import pytest
 
 from repro.errors import ReproError
-from repro.service import (Autoscaler, FleetNode, LeastLoaded,
+from repro.service import (Autoscaler, FleetNode, FleetSpec, LeastLoaded,
                            NodePowerModel, PowerAwarePacking, QueryClass,
                            RoundRobin, ServiceError, ServiceReport,
                            Tenant, build_stream, make_policy,
@@ -364,9 +364,9 @@ class TestScheduleReportProtocol:
 class TestSimulateServiceEdges:
     def test_single_node_serves_everything(self):
         stream = build_stream(500, seed=1)
-        report = simulate_service(stream, n_nodes=1,
-                                  policy="round_robin",
-                                  model=make_model())
+        report = simulate_service(
+            stream, fleet=FleetSpec.homogeneous(1, make_model()),
+            policy="round_robin")
         assert report.queries_completed == 500
         assert report.queries_rejected == 0
         assert report.n_nodes == 1
@@ -379,10 +379,9 @@ class TestSimulateServiceEdges:
                           mix=(("point", 1.0),)))
         stream = build_stream(2_000, tenants=tenants, classes=classes,
                               seed=1)
-        report = simulate_service(stream, n_nodes=1,
-                                  policy="round_robin",
-                                  model=make_model(),
-                                  admission_limit_seconds=0.05)
+        report = simulate_service(
+            stream, fleet=FleetSpec.homogeneous(1, make_model()),
+            policy="round_robin", admission_limit_seconds=0.05)
         assert report.queries_rejected > 0
         assert sum(t.rejected for t in report.tenants) == \
             report.queries_rejected
@@ -391,9 +390,9 @@ class TestSimulateServiceEdges:
 
     def test_energy_is_sum_of_node_energies(self):
         stream = build_stream(1_000, seed=2)
-        report = simulate_service(stream, n_nodes=4,
-                                  policy="power_aware",
-                                  model=make_model())
+        report = simulate_service(
+            stream, fleet=FleetSpec.homogeneous(4, make_model()),
+            policy="power_aware")
         assert report.energy_joules == pytest.approx(
             sum(n.energy_joules for n in report.nodes))
         assert report.queries_completed == pytest.approx(
