@@ -62,18 +62,14 @@ _EMPTY: frozenset = frozenset()
 
 
 class _FaultMirror(_TelemetryMirror):
-    """The healthy mirror, taught about degraded power and crashes.
+    """The healthy mirror, taught about crashes.
 
-    ``serve`` takes the busy draw explicitly (a throttled node runs
-    below peak), and ``crash`` drops the device to zero watts with no
-    drain rectangle — the node just stops drawing power.
+    The fault engine always passes the execution's busy draw to
+    ``serve`` explicitly (a throttled node runs below peak; the base
+    mirror handles that since PVC landed), and ``crash`` drops the
+    device to zero watts with no drain rectangle — the node just
+    stops drawing power.
     """
-
-    def serve(self, i: int, start: float, end: float,  # type: ignore[override]
-              busy_watts: float) -> None:
-        series = self.devices[i].power_series
-        series.record(start, busy_watts)
-        series.record(end, self.models[i].idle_watts)
 
     def crash(self, i: int, now: float) -> None:
         self.devices[i].power_series.record(now, 0.0)
@@ -186,6 +182,11 @@ def simulate_faulty_service(stream: ArrivalStream,
             f"schedule covers {schedule.n_nodes} nodes but the fleet has "
             f"{n_nodes}")
     policy = make_policy(policy, **policy_kwargs)
+    if policy.batching or policy.dvfs:
+        raise ServiceError(
+            f"policy {policy.name!r} uses the batching/DVFS execution "
+            "hooks, which the chaos engine does not support yet; run "
+            "PVC/QED policies on the healthy fleet engine")
     if policy.autoscaled and autoscaler is None:
         autoscaler = Autoscaler(fleet.classes[0].model)
     if not policy.autoscaled:

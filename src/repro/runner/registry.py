@@ -131,12 +131,18 @@ def _hetero_aggregate(points: Sequence["PointResult"]) -> Any:
     return hetero_aggregate(points)
 
 
+def _pvc_qed_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.service.experiments import pvc_qed_aggregate
+    return pvc_qed_aggregate(points)
+
+
 def _register_builtin_experiments() -> None:
     from repro.consolidation.experiments import batching_point
     from repro.core.experiments import figure1_point, figure2_point
     from repro.faults.experiments import chaos_point
     from repro.hardware.profiles import FIG1_DISK_COUNTS
-    from repro.service.experiments import hetero_point, service_point
+    from repro.service.experiments import (hetero_point, pvc_qed_point,
+                                           service_point)
     from repro.workloads.duty_cycle import run_duty_cycle
     from repro.workloads.scan_workload import run_scan
 
@@ -265,6 +271,30 @@ def _register_builtin_experiments() -> None:
             "min_nodes": 2,
         },
         aggregate=_hetero_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_pvc_qed",
+        title="Serving: PVC frequency governor x QED batching, "
+              "energy-vs-p95 Pareto frontier vs. power_aware "
+              "(arXiv 0909.1767)",
+        point_fn=pvc_qed_point,
+        defaults={
+            "config": ["power_aware", "pvc", "qed", "pvc_qed"],
+            "sla_headroom": [0.35, 0.7],
+            "queries": 40_000,
+            "nodes": 16,
+            "profile": "commodity",
+            "hold_seconds": 0.5,
+            "shared_fraction": 0.7,
+            "max_batch": 32,
+            "pack_backlog_seconds": 0.2,
+            "admission_limit_seconds": None,
+            "target_utilization": 0.55,
+            "epoch_seconds": 30.0,
+            "min_nodes": 2,
+        },
+        aggregate=_pvc_qed_aggregate,
         profile="commodity",
     ))
     _CHAOS_DEFAULTS = {

@@ -40,7 +40,8 @@ def _register_builtin_reports() -> None:
     from repro.core.experiments import Figure1Result, Figure2Result
     from repro.core.profiler import EnergyProfile
     from repro.faults.experiments import ChaosSweepResult
-    from repro.service.experiments import HeteroSweepResult
+    from repro.service.experiments import (HeteroSweepResult,
+                                           PVCQEDSweepResult)
     from repro.service.report import ServiceReport, ServiceSweepResult
     from repro.workloads.duty_cycle import DutyCycleReport
     from repro.workloads.scan_workload import ScanReport
@@ -48,7 +49,7 @@ def _register_builtin_reports() -> None:
     for cls in (ThroughputReport, ScanReport, DutyCycleReport,
                 EnergyProfile, Figure1Result, Figure2Result,
                 ScheduleReport, ServiceReport, ServiceSweepResult,
-                ChaosSweepResult, HeteroSweepResult):
+                ChaosSweepResult, HeteroSweepResult, PVCQEDSweepResult):
         register_report(cls)
 
 

@@ -19,10 +19,18 @@ Quick start::
     for cls in report.classes:                # per-class rollups
         print(cls.node_class, cls.joules_per_query)
 
+Beyond routing, two execution policies reproduce the Lang & Patel
+(arXiv 0909.1767) mechanisms: :class:`PVCPolicy` governs per-node
+frequency (cubic power, linear slowdown, within SLA headroom) and
+:class:`QEDPolicy` holds compatible arrivals to execute them as shared
+batches; ``QEDPolicy(inner="pvc")`` stacks both.  POLICIES.md is the
+policy-author's guide.
+
 or, the registered sweeps::
 
     python -m repro.runner run svc_policies   # three policies, 1.05 M
     python -m repro.runner run svc_hetero     # composition x load x SLA
+    python -m repro.runner run svc_pvc_qed    # PVC x QED Pareto frontier
 """
 
 from repro.service.autoscale import Autoscaler, calibrated_drain_joules
@@ -34,6 +42,8 @@ from repro.service.dispatch import (DISPATCH_POLICIES, CostAware,
 from repro.service.fleet import simulate_service
 from repro.service.micro import MicroFleetResult, run_micro_fleet
 from repro.service.node import FleetNode, NodePowerModel
+from repro.service.pvc import DEFAULT_FREQUENCY_STEPS, PVCPolicy
+from repro.service.qed import QEDPolicy
 from repro.service.report import (ClassStats, FaultStats, NodeStats,
                                   ServiceError, ServiceReport,
                                   ServiceSweepResult, TenantStats,
@@ -50,6 +60,7 @@ __all__ = [
     "ClassStats",
     "CostAware",
     "DEFAULT_CLASSES",
+    "DEFAULT_FREQUENCY_STEPS",
     "DEFAULT_TENANTS",
     "DISPATCH_POLICIES",
     "DispatchContext",
@@ -63,7 +74,9 @@ __all__ = [
     "NodeClass",
     "NodePowerModel",
     "NodeStats",
+    "PVCPolicy",
     "PowerAwarePacking",
+    "QEDPolicy",
     "QueryClass",
     "RoundRobin",
     "ServiceError",

@@ -27,6 +27,23 @@ policies that still override the legacy :meth:`DispatchPolicy.select`
 keep working: the base ``route`` delegates to ``select`` when a
 subclass implements only the old protocol.
 
+Beyond routing, a policy may opt into two *execution* hooks (see
+POLICIES.md for the author's guide):
+
+* **frequency control** — a policy that sets ``dvfs = True`` is asked
+  :meth:`DispatchPolicy.frequency` for every admitted arrival and may
+  return a DVFS factor below 1.0; the engine then runs the query
+  slower (service time divides by the factor) at a cubically lower
+  busy draw.  :class:`~repro.service.pvc.PVCPolicy` is the built-in
+  governor.
+* **batched admission** — a policy that sets ``batching = True`` holds
+  arrivals in queues instead of dispatching them immediately; the
+  engine drives its :meth:`DispatchPolicy.offer` /
+  :meth:`DispatchPolicy.next_deadline` / :meth:`DispatchPolicy.due` /
+  :meth:`DispatchPolicy.flush` protocol and executes the released
+  :class:`Batch` objects.  :class:`~repro.service.qed.QEDPolicy` is
+  the built-in queued-execution policy.
+
 Admission is a shared knob (``admission_limit_seconds``) that rejects
 an arrival when its chosen node's backlog exceeds the limit —
 per-tenant rejection counts land in the
@@ -104,13 +121,43 @@ class DispatchContext:
             <= self.sla_seconds * slack_fraction
 
 
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """One released group of held arrivals, executed as shared work.
+
+    ``members`` are arrival indices into the stream (in hold order,
+    oldest first); ``release_at`` is the instant the batch leaves its
+    hold queue (>= every member's arrival time); ``service_seconds``
+    is the *combined* speed-1 demand of the shared execution — the
+    first member's full cost plus the unshared remainder of each
+    follower.  A batch of one with zero hold is exactly the member's
+    original arrival, which is what makes the degenerate
+    configuration byte-identical to un-batched dispatch.
+    """
+
+    members: tuple[int, ...]
+    release_at: float
+    service_seconds: float
+    #: the members' tenant p95 SLA target (one queue = one tenant)
+    sla_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ServiceError("empty batch")
+        if self.service_seconds <= 0:
+            raise ServiceError("batch service time must be positive")
+
+
 class DispatchPolicy:
     """Base routing policy.
 
     ``autoscaled`` declares whether the policy wants the fleet's
     autoscaler active (packing concentrates load precisely so the
     autoscaler has something to switch off; the all-on baselines do
-    not).
+    not).  ``dvfs`` declares the frequency-control hook
+    (:meth:`frequency`) and ``batching`` the queued-admission hook
+    (:meth:`offer` and friends); both default off, so plain routing
+    policies never pay for them.
 
     Subclasses implement :meth:`route` (preferred: reads a
     :class:`DispatchContext`) or the legacy positional :meth:`select`;
@@ -120,6 +167,10 @@ class DispatchPolicy:
 
     name = "base"
     autoscaled = False
+    #: True: the engine asks :meth:`frequency` per admitted arrival
+    dvfs = False
+    #: True: the engine drives the offer/due/flush hold protocol
+    batching = False
 
     def __init__(self,
                  admission_limit_seconds: Optional[float] = None) -> None:
@@ -153,6 +204,45 @@ class DispatchPolicy:
         """Whether the routed arrival is admitted (else: rejected)."""
         limit = self.admission_limit_seconds
         return limit is None or node.backlog(now) <= limit
+
+    # -- execution hooks (opt-in; see POLICIES.md) --------------------
+
+    def frequency(self, ctx: DispatchContext, i: int) -> float:
+        """DVFS factor for the routed execution on node ``i``.
+
+        Only consulted when the policy declares ``dvfs = True``.  A
+        factor ``f < 1`` runs the query ``1/f`` times slower at busy
+        draw ``idle + (peak - idle) * f**3`` (the cubic dynamic-power
+        rule); ``1.0`` is the unthrottled baseline path.
+        """
+        return 1.0
+
+    def offer(self, k: int, now: float, service_seconds: float,
+              tenant: int, sla_seconds: Optional[float]) -> list[Batch]:
+        """Admit arrival ``k`` into the policy's hold queues.
+
+        Only consulted when the policy declares ``batching = True``.
+        Returns the batches this arrival forces out *right now* (a
+        full queue, or a zero hold window); an empty list means the
+        arrival is held for a later :meth:`due`/:meth:`flush` release.
+        """
+        raise ServiceError(
+            f"policy {self.name!r} declares batching but implements no "
+            "offer()")
+
+    def next_deadline(self) -> float:
+        """Earliest instant a held queue must release (``inf``: none
+        held).  Only consulted when ``batching = True``."""
+        return float("inf")
+
+    def due(self, now: float) -> list[Batch]:
+        """Release every queue whose deadline has arrived by ``now``."""
+        return []
+
+    def flush(self) -> list[Batch]:
+        """End of the stream: release everything still held, each
+        batch at its own deadline, ascending."""
+        return []
 
 
 class RoundRobin(DispatchPolicy):

@@ -22,6 +22,14 @@ fleets win Joules-per-query at low utilization on their lower idle
 floor, beefy fleets win once utilization (or a tightened SLA) makes
 the wimpy marginal cost — watts divided by a sub-unity speed factor —
 the dominant term.
+
+:func:`pvc_qed_point` runs the Lang & Patel (arXiv 0909.1767)
+mechanism sweep — the ``power_aware`` baseline against the PVC
+frequency governor, the QED batcher, and their composition — and
+:func:`pvc_qed_aggregate` folds the config × SLA-headroom grid into a
+:class:`PVCQEDSweepResult` whose :meth:`~PVCQEDSweepResult.headline`
+states the acceptance verdict: some mechanism config strictly beats
+the baseline on Joules/query while every tenant SLA holds.
 """
 
 from __future__ import annotations
@@ -141,6 +149,91 @@ def hetero_point(composition: str = "mixed",
     })
     autoscaler = Autoscaler(
         fleet.classes[0].model,
+        epoch_seconds=epoch_seconds,
+        target_utilization=target_utilization,
+        min_nodes=min_nodes,
+    ) if dispatch.autoscaled else None
+    return simulate_service(stream, fleet=fleet, policy=dispatch,
+                            autoscaler=autoscaler)
+
+
+#: the ``svc_pvc_qed`` mechanism axis: the PR-4 baseline, each
+#: 0909.1767 mechanism alone, and the stacked composition
+PVC_QED_CONFIGS: tuple[str, ...] = ("power_aware", "pvc", "qed",
+                                    "pvc_qed")
+
+
+def _pvc_qed_policy(config: str,
+                    sla_headroom: float,
+                    hold_seconds: float,
+                    shared_fraction: float,
+                    max_batch: int,
+                    pack_backlog_seconds: float,
+                    admission_limit_seconds: Optional[float]):
+    """Build one mechanism config over a shared power_aware router."""
+    from repro.service.pvc import PVCPolicy
+    from repro.service.qed import QEDPolicy
+    if config == "power_aware":
+        return make_policy("power_aware",
+                           pack_backlog_seconds=pack_backlog_seconds,
+                           admission_limit_seconds=admission_limit_seconds)
+    if config == "pvc":
+        return PVCPolicy(sla_headroom=sla_headroom,
+                         admission_limit_seconds=admission_limit_seconds,
+                         pack_backlog_seconds=pack_backlog_seconds)
+    if config == "qed":
+        return QEDPolicy(hold_seconds=hold_seconds,
+                         sla_headroom=sla_headroom,
+                         shared_fraction=shared_fraction,
+                         max_batch=max_batch,
+                         admission_limit_seconds=admission_limit_seconds,
+                         pack_backlog_seconds=pack_backlog_seconds)
+    if config == "pvc_qed":
+        return QEDPolicy(
+            inner=PVCPolicy(sla_headroom=sla_headroom,
+                            pack_backlog_seconds=pack_backlog_seconds),
+            hold_seconds=hold_seconds,
+            sla_headroom=sla_headroom,
+            shared_fraction=shared_fraction,
+            max_batch=max_batch,
+            admission_limit_seconds=admission_limit_seconds)
+    raise ServiceError(
+        f"unknown pvc_qed config {config!r}; known: "
+        f"{', '.join(PVC_QED_CONFIGS)}")
+
+
+def pvc_qed_point(config: str = "power_aware",
+                  queries: int = 40_000,
+                  nodes: int = 16,
+                  profile: str = "commodity",
+                  sla_headroom: float = 0.6,
+                  hold_seconds: float = 0.5,
+                  shared_fraction: float = 0.7,
+                  max_batch: int = 32,
+                  pack_backlog_seconds: float = 0.2,
+                  admission_limit_seconds: Optional[float] = None,
+                  target_utilization: float = 0.55,
+                  epoch_seconds: float = 30.0,
+                  min_nodes: int = 2,
+                  seed: int = 0) -> Any:
+    """Serve one stream under one PVC/QED mechanism configuration.
+
+    Every ``config`` routes through the same ``power_aware`` packer on
+    the same calibrated homogeneous fleet, so differences are the
+    mechanisms', not the router's.  ``sla_headroom`` is the shared
+    latency budget both mechanisms spend (the PVC governor's slowdown
+    allowance and the QED hold-window cap), which makes it the sweep's
+    Pareto knob: small headroom hugs the baseline latency, large
+    headroom buys the deepest Joules/query cuts.
+    """
+    model = NodePowerModel.from_server(profile)
+    fleet = FleetSpec.homogeneous(nodes, model)
+    stream = build_stream(queries, seed=seed)
+    dispatch = _pvc_qed_policy(
+        config, sla_headroom, hold_seconds, shared_fraction, max_batch,
+        pack_backlog_seconds, admission_limit_seconds)
+    autoscaler = Autoscaler(
+        model,
         epoch_seconds=epoch_seconds,
         target_utilization=target_utilization,
         min_nodes=min_nodes,
@@ -269,6 +362,127 @@ class HeteroSweepResult:
             sla_scales=list(data.get("sla_scales", [])),
             reports=[ServiceReport.from_dict(r)
                      for r in data.get("reports", [])])
+
+
+@dataclass
+class PVCQEDSweepResult:
+    """A mechanism × SLA-headroom sweep folded into a Pareto frontier.
+
+    Parallel arrays: point *k* ran mechanism ``configs[k]`` with
+    latency budget ``sla_headrooms[k]`` and produced ``reports[k]``.
+    :meth:`pareto_rows` keeps the (Joules/query, p95) non-dominated
+    SLA-respecting points, and :meth:`headline` states the 0909.1767
+    verdict the CI gate pins: the best mechanism config's Joules/query
+    against the ``power_aware`` baseline's, with every tenant SLA met.
+    """
+
+    configs: list[str]
+    sla_headrooms: list[float]
+    reports: list[ServiceReport]
+
+    def __post_init__(self) -> None:
+        n = len(self.reports)
+        if not (len(self.configs) == len(self.sla_headrooms) == n):
+            raise ServiceError(
+                f"pvc_qed sweep arrays disagree: {len(self.configs)} "
+                f"configs, {len(self.sla_headrooms)} sla_headrooms, "
+                f"{n} reports")
+
+    def baseline(self) -> ServiceReport:
+        """The ``power_aware`` reference report (headroom-invariant:
+        the baseline ignores the knob, so any instance serves)."""
+        for config, report in zip(self.configs, self.reports):
+            if config == "power_aware":
+                return report
+        raise ServiceError(
+            "sweep ran no power_aware baseline; nothing to dominate")
+
+    def rows(self) -> list[tuple]:
+        """Catalog rows: config, sla_headroom, J/query, p95, SLA
+        verdict, energy."""
+        return [(c, h, r.joules_per_query, r.p95_latency_seconds,
+                 "met" if r.slas_met else "MISSED", r.energy_joules)
+                for c, h, r in zip(self.configs, self.sla_headrooms,
+                                   self.reports)]
+
+    def pareto_rows(self) -> list[tuple]:
+        """The energy-vs-p95 frontier: SLA-respecting points no other
+        SLA-respecting point beats on both Joules/query and p95,
+        ascending by Joules/query."""
+        met = [(c, h, r) for c, h, r in zip(
+            self.configs, self.sla_headrooms, self.reports)
+            if r.slas_met]
+        frontier = []
+        for c, h, r in met:
+            dominated = any(
+                o.joules_per_query <= r.joules_per_query
+                and o.p95_latency_seconds <= r.p95_latency_seconds
+                and (o.joules_per_query < r.joules_per_query
+                     or o.p95_latency_seconds < r.p95_latency_seconds)
+                for _, _, o in met)
+            if not dominated:
+                frontier.append((c, h, r.joules_per_query,
+                                 r.p95_latency_seconds))
+        return sorted(frontier, key=lambda row: row[2])
+
+    def headline(self) -> dict[str, Any]:
+        """The acceptance numbers: the cheapest SLA-respecting
+        mechanism config vs. the ``power_aware`` baseline."""
+        base = self.baseline()
+        best = None
+        for c, h, r in zip(self.configs, self.sla_headrooms,
+                           self.reports):
+            if c == "power_aware" or not r.slas_met:
+                continue
+            if best is None or r.joules_per_query \
+                    < best[2].joules_per_query:
+                best = (c, h, r)
+        if best is None:
+            raise ServiceError(
+                "no mechanism config met every tenant SLA; the sweep "
+                "has no admissible challenger")
+        config, headroom, report = best
+        return {
+            "baseline_joules_per_query": base.joules_per_query,
+            "baseline_p95_seconds": base.p95_latency_seconds,
+            "best_config": config,
+            "best_sla_headroom": headroom,
+            "best_joules_per_query": report.joules_per_query,
+            "best_p95_seconds": report.p95_latency_seconds,
+            "savings_fraction": 1.0 - report.joules_per_query
+            / base.joules_per_query,
+            "dominates_power_aware": report.joules_per_query
+            < base.joules_per_query,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"configs": list(self.configs),
+                "sla_headrooms": list(self.sla_headrooms),
+                "reports": [r.to_dict() for r in self.reports]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PVCQEDSweepResult":
+        return cls(
+            configs=list(data.get("configs", [])),
+            sla_headrooms=list(data.get("sla_headrooms", [])),
+            reports=[ServiceReport.from_dict(r)
+                     for r in data.get("reports", [])])
+
+
+def pvc_qed_aggregate(points: Sequence[Any]) -> PVCQEDSweepResult:
+    """Fold finished mechanism points into the Pareto sweep result."""
+    order = {name: i for i, name in enumerate(PVC_QED_CONFIGS)}
+    ordered = sorted(
+        points,
+        key=lambda p: (order.get(str(p.knobs.get("config", "power_aware")),
+                                 len(order)),
+                       float(p.knobs.get("sla_headroom", 0.6))))
+    return PVCQEDSweepResult(
+        configs=[str(p.knobs.get("config", "power_aware"))
+                 for p in ordered],
+        sla_headrooms=[float(p.knobs.get("sla_headroom", 0.6))
+                       for p in ordered],
+        reports=[p.report for p in ordered])
 
 
 def hetero_aggregate(points: Sequence[Any]) -> HeteroSweepResult:

@@ -109,10 +109,14 @@ class _TelemetryMirror:
                 self._spans[i] = collector.stack.open(
                     f"svc.{node.name}.on", 0.0, {}, root=True)
 
-    def serve(self, i: int, start: float, end: float) -> None:
+    def serve(self, i: int, start: float, end: float,
+              busy_watts: Optional[float] = None) -> None:
+        """Record one execution window; ``busy_watts`` overrides the
+        peak draw for downclocked (PVC) or throttled executions."""
         model = self.models[i]
         series = self.devices[i].power_series
-        series.record(start, model.peak_watts)
+        series.record(start, model.peak_watts
+                      if busy_watts is None else busy_watts)
         series.record(end, model.idle_watts)
 
     def power_on(self, i: int, now: float) -> None:
@@ -183,10 +187,12 @@ def simulate_service(stream: ArrivalStream,
     """
     if faults is not None:
         from repro.faults.engine import simulate_faulty_service
+        # resolve the fleet here so a deprecated n_nodes=/model= call
+        # warns at *this* frame's caller, not at the delegation below
         return simulate_faulty_service(
-            stream, faults, fleet=fleet, policy=policy,
-            autoscaler=autoscaler, retry=retry, shed=shed,
-            n_nodes=n_nodes, model=model, **policy_kwargs)
+            stream, faults, fleet=_resolve_fleet(fleet, n_nodes, model),
+            policy=policy, autoscaler=autoscaler, retry=retry, shed=shed,
+            **policy_kwargs)
     if retry is not None or shed is not None:
         raise ServiceError("retry/shed policies only apply to a fault "
                            "run: pass a FaultSchedule as faults=")
@@ -220,29 +226,44 @@ def simulate_service(stream: ArrivalStream,
     epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
     next_epoch = epoch if autoscaler is not None else float("inf")
 
-    last_completion = 0.0
-    for k in range(n):
-        t = times[k]
-        while t >= next_epoch:
-            autoscaler.step(next_epoch, nodes, on_ids)
-            next_epoch += epoch
+    if policy.batching:
+        last_completion = _serve_batched(
+            policy, nodes, on_ids, autoscaler, mirror, times, services,
+            tenant_idx, slas, latencies, admitted)
+    else:
+        last_completion = 0.0
+        dvfs = policy.dvfs
+        for k in range(n):
+            t = times[k]
+            while t >= next_epoch:
+                autoscaler.step(next_epoch, nodes, on_ids)
+                next_epoch += epoch
+                if mirror is not None:
+                    _mirror_power_state(mirror, nodes)
+            s = services[k]
+            if autoscaler is not None:
+                autoscaler.observe(s)
+            ctx = DispatchContext(nodes, on_ids, t, s, slas[k])
+            i = policy.route(ctx)
+            node = nodes[i]
+            if not policy.admits(node, t):
+                admitted[k] = False
+                latencies[k] = np.nan
+                continue
+            if dvfs and (freq := policy.frequency(ctx, i)) < 1.0:
+                model_i = node.model
+                busy_watts = model_i.idle_watts \
+                    + (model_i.peak_watts - model_i.idle_watts) * freq ** 3
+                start, done = node.serve_active(t, s, busy_watts, freq)
+                latencies[k] = done - t
+            else:
+                busy_watts = None
+                start = node.busy_until if node.busy_until > t else t
+                latencies[k] = node.serve(t, s)
+            if node.busy_until > last_completion:
+                last_completion = node.busy_until
             if mirror is not None:
-                _mirror_power_state(mirror, nodes)
-        s = services[k]
-        if autoscaler is not None:
-            autoscaler.observe(s)
-        i = policy.route(DispatchContext(nodes, on_ids, t, s, slas[k]))
-        node = nodes[i]
-        if not policy.admits(node, t):
-            admitted[k] = False
-            latencies[k] = np.nan
-            continue
-        start = node.busy_until if node.busy_until > t else t
-        latencies[k] = node.serve(t, s)
-        if node.busy_until > last_completion:
-            last_completion = node.busy_until
-        if mirror is not None:
-            mirror.serve(i, start, node.busy_until)
+                mirror.serve(i, start, node.busy_until, busy_watts)
 
     end = max(last_completion, times[-1])
     node_stats = [node.finalize(end) for node in nodes]
@@ -292,6 +313,110 @@ def simulate_service(stream: ArrivalStream,
     if mirror is not None:
         mirror.finish(end, report)
     return report
+
+
+def _serve_batched(policy: DispatchPolicy,
+                   nodes: Sequence[FleetNode],
+                   on_ids: list[int],
+                   autoscaler: Optional[Autoscaler],
+                   mirror: Optional[_TelemetryMirror],
+                   times: list[float],
+                   services: list[float],
+                   tenant_idx,
+                   slas: list[float],
+                   latencies,
+                   admitted) -> float:
+    """Drive a ``batching`` policy's hold/release protocol (QED).
+
+    Arrivals enter the policy's hold queues through
+    :meth:`~repro.service.dispatch.DispatchPolicy.offer`; the merged
+    timeline interleaves arrivals with queue release deadlines
+    (:meth:`next_deadline`/:meth:`due`), so a batch executes the
+    instant its latency headroom runs out, never later.  Released
+    batches route through the policy's ordinary :meth:`route`/
+    :meth:`admits` hooks as *one* shared execution — every member
+    completes at the batch end, and a rejected batch rejects every
+    member.  The autoscaler observes the batch's *combined* (shared)
+    demand at release, so consolidation sees the work QED actually
+    creates, not the work it absorbed.  With a zero hold window every
+    arrival releases immediately as a batch of one, reproducing the
+    un-batched engine event for event.
+
+    Returns the last completion instant (mutates ``latencies``,
+    ``admitted``, the nodes, and ``on_ids`` in place).
+    """
+    n = len(times)
+    inf = float("inf")
+    epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
+    next_epoch = epoch if autoscaler is not None else inf
+    # epochs stop with the workload, exactly as the chaos engine's do:
+    # post-stream releases must not keep the autoscaler cycling a
+    # fleet with nothing left to absorb
+    last_arrival = times[-1]
+    last_completion = 0.0
+    dvfs = policy.dvfs
+
+    def step_epochs(t: float) -> None:
+        nonlocal next_epoch
+        while t >= next_epoch and next_epoch <= last_arrival:
+            autoscaler.step(next_epoch, nodes, on_ids)
+            next_epoch += epoch
+            if mirror is not None:
+                _mirror_power_state(mirror, nodes)
+
+    def execute(batch) -> None:
+        nonlocal last_completion
+        t = batch.release_at
+        s = batch.service_seconds
+        if autoscaler is not None:
+            autoscaler.observe(s)
+        ctx = DispatchContext(nodes, on_ids, t, s, batch.sla_seconds)
+        i = policy.route(ctx)
+        node = nodes[i]
+        if not policy.admits(node, t):
+            for k in batch.members:
+                admitted[k] = False
+                latencies[k] = np.nan
+            return
+        if dvfs and (freq := policy.frequency(ctx, i)) < 1.0:
+            model_i = node.model
+            busy_watts = model_i.idle_watts \
+                + (model_i.peak_watts - model_i.idle_watts) * freq ** 3
+            start, done = node.serve_active(t, s, busy_watts, freq)
+        else:
+            busy_watts = None
+            start = node.busy_until if node.busy_until > t else t
+            node.serve(t, s)
+            done = node.busy_until
+        # serve()/serve_active() count one completion; the other
+        # members of the shared execution complete with it
+        node.completed += len(batch.members) - 1
+        for k in batch.members:
+            latencies[k] = done - times[k]
+        if done > last_completion:
+            last_completion = done
+        if mirror is not None:
+            mirror.serve(i, start, done, busy_watts)
+
+    k = 0
+    while True:
+        t_arr = times[k] if k < n else inf
+        deadline = policy.next_deadline()
+        if deadline <= t_arr and deadline < inf:
+            step_epochs(deadline)
+            for batch in policy.due(deadline):
+                execute(batch)
+        elif k < n:
+            step_epochs(t_arr)
+            for batch in policy.offer(k, t_arr, services[k],
+                                      int(tenant_idx[k]), slas[k]):
+                execute(batch)
+            k += 1
+        else:
+            break
+    for batch in policy.flush():
+        execute(batch)
+    return last_completion
 
 
 def _mirror_power_state(mirror: _TelemetryMirror,

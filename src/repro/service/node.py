@@ -174,8 +174,8 @@ class FleetNode:
     __slots__ = ("name", "model", "on", "busy_until", "on_since",
                  "_interval_busy", "_interval_boot", "on_seconds",
                  "busy_seconds", "energy_joules", "boots", "completed",
-                 "crashes", "_interval_active_joules", "_active_energy",
-                 "_finalized", "node_class")
+                 "crashes", "_interval_active_joules",
+                 "_interval_linear_busy", "_finalized", "node_class")
 
     def __init__(self, name: str, model: NodePowerModel,
                  on: bool = True, at: float = 0.0,
@@ -189,12 +189,15 @@ class FleetNode:
         self.on_since = at if on else 0.0
         self._interval_busy = 0.0  # busy seconds in the current ON span
         self._interval_boot = 0.0  # boot seconds in the current ON span
-        # active energy above idle in the current ON span, accumulated
-        # per query when serve_active() prices degraded power states;
-        # the flag keeps the healthy path on the (peak - idle) * busy
-        # identity bit-for-bit
+        # The ON span's active energy above idle splits into two lanes
+        # that may coexist (a PVC run downclocks some queries and not
+        # others): serve() seconds accumulate in _interval_linear_busy
+        # and are priced by the fleet-wide (peak - idle) * busy
+        # identity at close, bit-for-bit as always; serve_active()
+        # prices each query's explicit power state into
+        # _interval_active_joules as it runs.
         self._interval_active_joules = 0.0
-        self._active_energy = False
+        self._interval_linear_busy = 0.0
         self.on_seconds = 0.0
         self.busy_seconds = 0.0
         self.energy_joules = 0.0
@@ -222,6 +225,7 @@ class FleetNode:
         start = self.busy_until if self.busy_until > arrival_t else arrival_t
         self.busy_until = start + scaled
         self._interval_busy += scaled
+        self._interval_linear_busy += scaled
         self.completed += 1
         return self.busy_until - arrival_t
 
@@ -252,7 +256,6 @@ class FleetNode:
         self._interval_busy += scaled
         self._interval_active_joules += \
             (busy_watts - self.model.idle_watts) * scaled
-        self._active_energy = True
         self.completed += 1
         return start, self.busy_until
 
@@ -305,6 +308,7 @@ class FleetNode:
         self.on_since = now
         self._interval_busy = 0.0
         self._interval_active_joules = 0.0
+        self._interval_linear_busy = 0.0
         self._interval_boot = self.model.boot_seconds
         self.busy_until = now + self.model.boot_seconds
         self.boots += 1
@@ -330,17 +334,17 @@ class FleetNode:
         self.busy_seconds += self._interval_busy
         # the boot window is priced wholly by the boot_joules lump —
         # only the remainder of the interval draws idle-or-busy power;
-        # serve_active() intervals carry their own per-query active
-        # energy (degraded power states), serve() intervals use the
+        # serve_active() seconds carry their own per-query active
+        # energy (explicit power states), serve() seconds use the
         # fleet-wide linear identity
-        active = (self._interval_active_joules if self._active_energy
-                  else (self.model.peak_watts - self.model.idle_watts)
-                  * self._interval_busy)
+        active = (self.model.peak_watts - self.model.idle_watts) \
+            * self._interval_linear_busy + self._interval_active_joules
         self.energy_joules += (self.model.idle_watts
                                * (span - self._interval_boot)
                                + active)
         self._interval_busy = 0.0
         self._interval_active_joules = 0.0
+        self._interval_linear_busy = 0.0
         self._interval_boot = 0.0
 
     def finalize(self, end: float) -> NodeStats:

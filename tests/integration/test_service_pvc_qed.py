@@ -1,0 +1,112 @@
+"""Integration: the PVC/QED mechanisms on the full serving engine.
+
+The acceptance criteria of the 0909.1767 reproduction: at least one
+mechanism configuration strictly dominates ``power_aware`` on
+Joules/query while meeting every tenant SLA, and the telemetry
+mirror's metered energy equals the closed-form books to 1e-9 for
+downclocked and batched executions alike.
+"""
+
+import pytest
+
+from repro.service import (FleetSpec, PVCPolicy, QEDPolicy, build_stream,
+                           simulate_service)
+from repro.service.experiments import (PVC_QED_CONFIGS, PVCQEDSweepResult,
+                                       pvc_qed_point)
+from repro.telemetry import capture
+
+QUERIES = 20_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_stream(QUERIES, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reports(stream):
+    fleet = FleetSpec.homogeneous(16)
+    policies = {
+        "power_aware": "power_aware",
+        "pvc": PVCPolicy(),
+        "qed": QEDPolicy(),
+        "pvc_qed": QEDPolicy(inner=PVCPolicy()),
+    }
+    return {name: simulate_service(stream, fleet=fleet, policy=policy)
+            for name, policy in policies.items()}
+
+
+class TestMechanismFrontier:
+    def test_each_mechanism_dominates_baseline_joules_per_query(
+            self, reports):
+        base = reports["power_aware"]
+        for name in ("pvc", "qed", "pvc_qed"):
+            assert reports[name].joules_per_query \
+                < base.joules_per_query, name
+
+    def test_composition_beats_each_mechanism_alone(self, reports):
+        stacked = reports["pvc_qed"].joules_per_query
+        assert stacked < reports["pvc"].joules_per_query
+        assert stacked < reports["qed"].joules_per_query
+
+    def test_every_tenant_sla_met(self, reports):
+        for name, report in reports.items():
+            assert report.slas_met, (
+                name, [(t.tenant, t.p95_latency_seconds,
+                        t.sla_p95_seconds) for t in report.tenants])
+
+    def test_no_queries_lost(self, reports):
+        for report in reports.values():
+            assert report.queries_completed == QUERIES
+            assert report.queries_rejected == 0
+
+
+class TestTelemetryMirrorExactness:
+    @pytest.mark.parametrize("policy_fn", [
+        lambda: PVCPolicy(),
+        lambda: QEDPolicy(),
+        lambda: QEDPolicy(inner=PVCPolicy()),
+    ], ids=["pvc", "qed", "pvc_qed"])
+    def test_metered_equals_closed_form(self, stream, policy_fn):
+        with capture() as collector:
+            report = simulate_service(stream,
+                                      fleet=FleetSpec.homogeneous(16),
+                                      policy=policy_fn())
+        trace = collector.finalize()
+        metered = sum(d.energy_joules for d in trace.devices)
+        assert metered == pytest.approx(report.energy_joules,
+                                        rel=1e-9)
+        counters = dict(trace.counters)
+        assert counters["svc.queries_completed"] == QUERIES
+
+
+class TestRunnerIntegration:
+    def test_point_function_covers_every_config(self):
+        for config in PVC_QED_CONFIGS:
+            report = pvc_qed_point(config=config, queries=2_000)
+            assert report.queries_completed == 2_000
+
+    def test_sweep_aggregation_and_headline(self):
+        from repro.runner.runner import Runner
+        from repro.runner.spec import ExperimentSpec
+        res = Runner().run(ExperimentSpec(
+            "svc_pvc_qed", knobs={"queries": QUERIES}))
+        sweep = res.aggregate()
+        assert isinstance(sweep, PVCQEDSweepResult)
+        assert len(sweep.reports) == 8  # 4 configs x 2 headrooms
+        headline = sweep.headline()
+        assert headline["dominates_power_aware"] is True
+        assert headline["best_config"] != "power_aware"
+        assert headline["savings_fraction"] > 0.0
+        # the frontier's cheapest point is a mechanism config, its
+        # fastest point the baseline
+        frontier = sweep.pareto_rows()
+        assert frontier[0][0] != "power_aware"
+        assert frontier[-1][0] == "power_aware"
+        # round-trips through the report registry
+        restored = PVCQEDSweepResult.from_dict(sweep.to_dict())
+        assert restored.to_dict() == sweep.to_dict()
+
+    def test_result_type_registered(self):
+        from repro.runner.reports import REPORT_TYPES
+        assert "PVCQEDSweepResult" in REPORT_TYPES

@@ -79,6 +79,48 @@ def test_micro_fleet_is_deterministic(queries, n_nodes, seed):
     assert a.energy_joules == b.energy_joules
 
 
+def _report_dict_sans_policy(report):
+    d = report.to_dict()
+    d.pop("policy")
+    return d
+
+
+@settings(max_examples=20, deadline=None)
+@given(queries=st.integers(min_value=1, max_value=300),
+       n_nodes=st.integers(min_value=1, max_value=8), seed=seeds)
+def test_pvc_at_full_frequency_is_byte_identical_to_baseline(
+        queries, n_nodes, seed):
+    """A governor whose only step is 1.0 never downclocks, so its
+    report must be byte-for-byte the wrapped policy's (modulo the
+    policy name) — the degenerate-configuration law."""
+    from repro.service import FleetSpec, PVCPolicy, simulate_service
+
+    stream = micro_stream(queries, seed)
+    fleet = FleetSpec.homogeneous(n_nodes)
+    base = simulate_service(stream, fleet=fleet, policy="power_aware")
+    pvc = simulate_service(stream, fleet=fleet,
+                           policy=PVCPolicy(frequency_steps=(1.0,)))
+    assert _report_dict_sans_policy(pvc) == _report_dict_sans_policy(base)
+
+
+@settings(max_examples=20, deadline=None)
+@given(queries=st.integers(min_value=1, max_value=300),
+       n_nodes=st.integers(min_value=1, max_value=8), seed=seeds)
+def test_qed_with_zero_hold_is_byte_identical_to_baseline(
+        queries, n_nodes, seed):
+    """A zero hold window releases every arrival alone at its own
+    arrival instant, reproducing the un-batched engine event for
+    event."""
+    from repro.service import FleetSpec, QEDPolicy, simulate_service
+
+    stream = micro_stream(queries, seed)
+    fleet = FleetSpec.homogeneous(n_nodes)
+    base = simulate_service(stream, fleet=fleet, policy="power_aware")
+    qed = simulate_service(stream, fleet=fleet,
+                           policy=QEDPolicy(hold_seconds=0.0))
+    assert _report_dict_sans_policy(qed) == _report_dict_sans_policy(base)
+
+
 @settings(max_examples=20, deadline=None)
 @given(queries=st.integers(min_value=1, max_value=300),
        n_nodes=st.integers(min_value=1, max_value=8), seed=seeds)

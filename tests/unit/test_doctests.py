@@ -8,10 +8,12 @@ import pytest
 
 from repro.core import metrics, profiler
 from repro.faults import engine, policies, schedule
+from repro.service import pvc, qed
 
 
 @pytest.mark.parametrize("module",
-                         [metrics, profiler, schedule, policies, engine],
+                         [metrics, profiler, schedule, policies, engine,
+                          pvc, qed],
                          ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
