@@ -1,0 +1,50 @@
+"""Shared command-line plumbing for the repo's ``python -m`` tools.
+
+Every operator CLI (``repro.runner``, ``repro.observatory``,
+``repro.flightrec``) makes the same three promises:
+
+* a :class:`~repro.errors.ReproError` prints as ``error: <message>``
+  on stderr — one line, no traceback — and exits 2;
+* a downstream pipe closing early (``... | head``) exits 0 quietly
+  instead of spraying ``BrokenPipeError`` at interpreter shutdown;
+* stdout is flushed *inside* the guard, so output smaller than the
+  pipe buffer still surfaces the closed pipe where the guard can
+  swallow it.
+
+:func:`run_guarded` is that contract in one place; each CLI's
+``main`` wraps its subcommand dispatch in it instead of copying the
+``try``/``except`` ladder.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+def run_guarded(dispatch: Callable[[], int]) -> int:
+    """Run ``dispatch`` under the shared CLI error contract.
+
+    ``dispatch`` is the CLI's subcommand switch: zero arguments,
+    returns the process exit code.  ``SystemExit`` (argparse usage
+    errors) passes through untouched.
+    """
+    try:
+        code = dispatch()
+        # flush inside the guard: output smaller than the pipe buffer
+        # would otherwise surface BrokenPipeError only at interpreter
+        # shutdown, past any except clause
+        sys.stdout.flush()
+        return code
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe early; park stdout on devnull so
+        # the interpreter's shutdown flush doesn't raise again, and
+        # exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

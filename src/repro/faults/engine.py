@@ -44,7 +44,7 @@ from repro.faults.policies import RetryPolicy, ShedPolicy
 from repro.faults.schedule import FaultError, FaultSchedule
 from repro.service.autoscale import Autoscaler
 from repro.service.dispatch import (DispatchContext, DispatchPolicy,
-                                    make_policy)
+                                    dispatch_candidates, make_policy)
 from repro.service.fleet import (_build_nodes, _mirror_power_state,
                                  _resolve_fleet, _TelemetryMirror)
 from repro.service.node import NodePowerModel
@@ -56,8 +56,9 @@ from repro.service.workload import ArrivalStream
 # arrival-state codes (per-query resolution ledger)
 _PENDING, _COMPLETED, _REJECTED, _LOST = 0, 1, 2, 3
 # heap priorities: faults and repairs rewrite the world the
-# re-dispatches then see, so they win ties
-_PRIO_FAULT, _PRIO_REDISPATCH = 0, 1
+# re-dispatches then see, so they win ties; batch releases run last so
+# a released batch dispatches onto the post-fault fleet
+_PRIO_FAULT, _PRIO_REDISPATCH, _PRIO_RELEASE = 0, 1, 2
 _EMPTY: frozenset = frozenset()
 
 
@@ -152,6 +153,13 @@ def simulate_faulty_service(stream: ArrivalStream,
       to a survivor (degraded-mode dispatch); an arrival that burns
       its whole attempt budget on timeouts is rejected.
 
+    PVC and QED policies run under faults since the flight recorder
+    landed: a DVFS governor's downclock composes with any active
+    throttle window (effective cubic factor is their product), and a
+    batching policy's hold queues release through the same event heap
+    — a released batch routes, sheds, crashes, and retries as one
+    unit, with every member sharing the outcome.
+
     The returned :class:`~repro.service.report.ServiceReport` carries a
     :class:`~repro.service.report.FaultStats` ledger reconciling every
     arrival: ``offered == completed + rejected + lost``, exactly.
@@ -182,11 +190,6 @@ def simulate_faulty_service(stream: ArrivalStream,
             f"schedule covers {schedule.n_nodes} nodes but the fleet has "
             f"{n_nodes}")
     policy = make_policy(policy, **policy_kwargs)
-    if policy.batching or policy.dvfs:
-        raise ServiceError(
-            f"policy {policy.name!r} uses the batching/DVFS execution "
-            "hooks, which the chaos engine does not support yet; run "
-            "PVC/QED policies on the healthy fleet engine")
     if policy.autoscaled and autoscaler is None:
         autoscaler = Autoscaler(fleet.classes[0].model)
     if not policy.autoscaled:
@@ -203,6 +206,15 @@ def simulate_faulty_service(stream: ArrivalStream,
     mirror = (None if collector is None else
               _FaultMirror(collector, nodes, start_on=True))
 
+    from repro.flightrec.context import current_recorder
+    rec = current_recorder()
+    if rec is not None:
+        rec.begin_run("chaos", stream, nodes, policy.name,
+                      autoscaler is not None)
+    rec_detail = rec is not None and rec.detail
+    batching = policy.batching
+    dvfs = policy.dvfs
+
     times = stream.times.tolist()
     services = stream.service_seconds.tolist()
     tenant_idx = stream.tenant_index
@@ -218,9 +230,11 @@ def simulate_faulty_service(stream: ArrivalStream,
     throttle_active: list[list[float]] = [[] for _ in range(n_nodes)]
     disk_active: list[list[float]] = [[] for _ in range(n_nodes)]
     speed_mult = [1.0] * n_nodes
+    throttle_factor = [1.0] * n_nodes
     busy_watts = [m.idle_watts + pmi
                   for m, pmi in zip(models, peak_minus_idle)]
-    #: unsettled executions per node: (k, start, end, scaled, watts)
+    #: unsettled executions per node: (job, start, end, scaled, watts,
+    #: frequency) — job is an arrival index or a released Batch
     pending: list[deque] = [deque() for _ in range(n_nodes)]
 
     def recompute(i: int) -> None:
@@ -231,6 +245,7 @@ def simulate_faulty_service(stream: ArrivalStream,
         for f in disk_active[i]:
             df *= f
         speed_mult[i] = tf * df
+        throttle_factor[i] = tf
         busy_watts[i] = models[i].idle_watts \
             + peak_minus_idle[i] * tf ** 3
 
@@ -266,14 +281,30 @@ def simulate_faulty_service(stream: ArrivalStream,
     def settle(i: int, upto: float) -> None:
         q = pending[i]
         while q and q[0][2] <= upto:
-            k, start, end, _scaled, watts = q.popleft()
-            latencies[k] = end - times[k]
-            state[k] = _COMPLETED
+            job, start, end, _scaled, watts, freq = q.popleft()
+            if type(job) is int:
+                latencies[job] = end - times[job]
+                state[job] = _COMPLETED
+                if rec is not None:
+                    rec.fault_serves.append(
+                        (job, i, start, end, watts, freq, None))
+            else:
+                for m in job.members:
+                    latencies[m] = end - times[m]
+                    state[m] = _COMPLETED
+                if rec is not None:
+                    rec.fault_serves.append(
+                        (job.members, i, start, end, watts, freq,
+                         job.service_seconds))
             if mirror is not None:
                 mirror.serve(i, start, end, watts)
 
     # -- dispatch (and re-dispatch) -----------------------------------
-    def dispatch(k: int, now: float, excluded: frozenset) -> None:
+    # ``job`` is an arrival index, or (when the policy batches) a
+    # released Batch dispatched as one shared execution: its combined
+    # demand routes, executes, and sheds as a unit, and every member
+    # shares the outcome (latency, rejection, crash loss)
+    def dispatch(job, now: float, excluded: frozenset) -> None:
         nonlocal last_completion
         ids = (on_ids if not excluded
                else [i for i in on_ids if i not in excluded])
@@ -289,41 +320,89 @@ def simulate_faulty_service(stream: ArrivalStream,
                           and nodes[i].busy_until <= now), None)
             if spare is None:
                 wake = min(nodes[i].busy_until for i in range(n_nodes))
-                push(wake, _PRIO_REDISPATCH, "redispatch", (k, _EMPTY))
+                push(wake, _PRIO_REDISPATCH, "redispatch", (job, _EMPTY))
                 return
             nodes[spare].power_on(now)
             on_ids.append(spare)
             stats.emergency_boots += 1
             if mirror is not None:
                 mirror.power_on(spare, now)
+            if rec is not None:
+                rec.events.append((now, "boot", spare, None, None,
+                                   {"reason": "blackout"}))
             ids = on_ids
-        s = services[k]
-        sla = sla_of[int(tenant_idx[k])]
-        i = policy.route(DispatchContext(nodes, ids, now, s, sla))
+        if type(job) is int:
+            who = (job,)
+            s = services[job]
+            sla = sla_of[int(tenant_idx[job])]
+        else:
+            who = job.members
+            s = job.service_seconds
+            sla = job.sla_seconds
+        ctx = DispatchContext(nodes, ids, now, s, sla)
+        i = policy.route(ctx)
         node = nodes[i]
-        attempts[k] += 1
+        for m in who:
+            attempts[m] += 1
+        if rec_detail:
+            rec.events.append(
+                (now, "dispatch", i,
+                 int(tenant_idx[who[0]]) if len(who) == 1 else None,
+                 who[0], dispatch_candidates(ctx, i)))
         if in_timeout(i, now):
             stats.timeouts += 1
-            if retry.exhausted(attempts[k]):
-                state[k] = _REJECTED
+            if retry.exhausted(attempts[who[0]]):
+                state[list(who)] = _REJECTED
+                if rec is not None:
+                    rec.events.append(
+                        (now, "reject", i, None, who[0],
+                         {"reason": "timeout", "members": list(who)}))
             else:
                 stats.retries += 1
                 delay = (retry.timeout_detect_seconds
-                         + retry.backoff_seconds(attempts[k]))
+                         + retry.backoff_seconds(attempts[who[0]]))
                 push(now + delay, _PRIO_REDISPATCH, "redispatch",
-                     (k, excluded | {i}))
+                     (job, excluded | {i}))
+                if rec is not None:
+                    rec.events.append(
+                        (now, "timeout", i, None, who[0],
+                         {"retry_at": now + delay,
+                          "members": list(who)}))
+                    rec.events.append(
+                        (now, "retry", i, None, who[0],
+                         {"reason": "timeout", "members": list(who)}))
             return
         if not policy.admits(node, now):
-            state[k] = _REJECTED
+            state[list(who)] = _REJECTED
+            if rec is not None:
+                rec.events.append((now, "reject", i, None, who[0],
+                                   {"members": list(who)}))
             return
         if shed is not None and shed.sheds(
                 node.backlog(now),
                 s / (node.model.speed_factor * speed_mult[i]), sla):
-            state[k] = _REJECTED
-            stats.queries_shed += 1
+            state[list(who)] = _REJECTED
+            stats.queries_shed += len(who)
+            if rec is not None:
+                rec.events.append((now, "shed", i, None, who[0],
+                                   {"members": list(who)}))
             return
-        start, end = node.serve_active(now, s, busy_watts[i], speed_mult[i])
-        pending[i].append((k, start, end, end - start, busy_watts[i]))
+        freq = 1.0
+        w = busy_watts[i]
+        mult = speed_mult[i]
+        if dvfs:
+            freq = policy.frequency(ctx, i)
+            if freq < 1.0:
+                # compose the governor's downclock with any throttle
+                # fault: both follow the cubic dynamic-power rule, so
+                # the effective cubic factor is their product
+                w = models[i].idle_watts \
+                    + peak_minus_idle[i] * (throttle_factor[i] * freq) ** 3
+                mult = mult * freq
+        start, end = node.serve_active(now, s, w, mult)
+        if len(who) > 1:
+            node.completed += len(who) - 1
+        pending[i].append((job, start, end, end - start, w, freq))
         if end > last_completion:
             last_completion = end
 
@@ -341,24 +420,34 @@ def simulate_faulty_service(stream: ArrivalStream,
             return
         settle(i, now)
         q = pending[i]
-        lost: list[int] = []
+        lost: list = []          # destroyed jobs, in queue order
+        lost_queries = 0
         retract_busy = 0.0
         retract_joules = 0.0
         if q and q[0][1] < now:
-            # in-flight query: executed up to the crash, then destroyed
-            k0, s0, _e0, scaled0, w0 = q.popleft()
+            # in-flight execution: ran up to the crash, then destroyed
+            job0, s0, _e0, scaled0, w0, _f0 = q.popleft()
             unexecuted = scaled0 - (now - s0)
             retract_busy += unexecuted
             retract_joules += (w0 - node.model.idle_watts) * unexecuted
-            lost.append(k0)
+            lost.append(job0)
+            lost_queries += (1 if type(job0) is int
+                             else len(job0.members))
             if mirror is not None:
                 mirror.serve(i, s0, now, w0)
+            if rec is not None:
+                rec.events.append(
+                    (now, "truncated_serve", i, None,
+                     job0 if type(job0) is int else job0.members[0],
+                     {"start": s0, "end": now, "watts": w0}))
         while q:
-            k2, _s2, _e2, scaled2, w2 = q.popleft()
+            job2, _s2, _e2, scaled2, w2, _f2 = q.popleft()
             retract_busy += scaled2
             retract_joules += (w2 - node.model.idle_watts) * scaled2
-            lost.append(k2)
-        node.retract(retract_busy, retract_joules, len(lost))
+            lost.append(job2)
+            lost_queries += (1 if type(job2) is int
+                             else len(job2.members))
+        node.retract(retract_busy, retract_joules, lost_queries)
         repair_at = now + downtime
         node.crash(now, repair_at)
         on_ids.remove(i)
@@ -366,15 +455,29 @@ def simulate_faulty_service(stream: ArrivalStream,
         crash_intervals.append((now, repair_at))
         if mirror is not None:
             mirror.crash(i, now)
+        if rec is not None:
+            rec.events.append((now, "crash", i, None, None,
+                               {"repair_at": repair_at,
+                                "lost": lost_queries}))
         push(repair_at, _PRIO_FAULT, "repair", i)
-        for k2 in lost:
-            was_crashed[k2] = True
-            if retry.exhausted(attempts[k2]):
-                state[k2] = _LOST
+        for job2 in lost:
+            members = (job2,) if type(job2) is int else job2.members
+            for m in members:
+                was_crashed[m] = True
+            if retry.exhausted(attempts[members[0]]):
+                state[list(members)] = _LOST
+                if rec is not None:
+                    rec.events.append(
+                        (now, "lost", i, None, members[0],
+                         {"members": list(members)}))
             else:
                 stats.retries += 1
-                push(now + retry.backoff_seconds(attempts[k2]),
-                     _PRIO_REDISPATCH, "redispatch", (k2, _EMPTY))
+                push(now + retry.backoff_seconds(attempts[members[0]]),
+                     _PRIO_REDISPATCH, "redispatch", (job2, _EMPTY))
+                if rec is not None:
+                    rec.events.append(
+                        (now, "retry", i, None, members[0],
+                         {"reason": "crash", "members": list(members)}))
         if autoscaler is not None:
             booted = autoscaler.emergency(now, nodes, on_ids, downtime)
             if mirror is not None:
@@ -384,6 +487,8 @@ def simulate_faulty_service(stream: ArrivalStream,
     def do_repair(i: int, now: float) -> None:
         node = nodes[i]
         stats.recoveries += 1
+        if rec is not None:
+            rec.events.append((now, "repair", i, None, None, {}))
         if node.on:
             return
         if autoscaler is None or not on_ids:
@@ -396,6 +501,28 @@ def simulate_faulty_service(stream: ArrivalStream,
                 on_ids.sort()
                 if mirror is not None:
                     mirror.power_on(i, now)
+                if rec is not None:
+                    rec.events.append((now, "boot", i, None, None,
+                                       {"reason": "repair"}))
+
+    # -- batch release plumbing (only when the policy batches) --------
+    # every policy interaction reschedules one wake-up at the earliest
+    # outstanding hold deadline; stale wake-ups (the queue already
+    # flushed full) fall through ``due`` as no-ops
+    scheduled_releases: set[float] = set()
+
+    def schedule_release() -> None:
+        nd = policy.next_deadline()
+        if nd != float("inf") and nd not in scheduled_releases:
+            scheduled_releases.add(nd)
+            push(nd, _PRIO_RELEASE, "release", None)
+
+    def execute_batch(batch, now: float) -> None:
+        # the autoscaler observes the *combined* (shared) demand at
+        # release — consolidation pressure follows executed work
+        if autoscaler is not None:
+            autoscaler.observe(batch.service_seconds)
+        dispatch(batch, now, _EMPTY)
 
     # -- the run -------------------------------------------------------
     epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
@@ -419,12 +546,24 @@ def simulate_faulty_service(stream: ArrivalStream,
                 mirror.sync(nodes)
             next_epoch += epoch
         if kind == "arrival":
-            if autoscaler is not None:
-                autoscaler.observe(services[payload])
-            dispatch(payload, t, _EMPTY)
+            if batching:
+                ti = int(tenant_idx[payload])
+                for batch in policy.offer(payload, t, services[payload],
+                                          ti, sla_of[ti]):
+                    execute_batch(batch, t)
+                schedule_release()
+            else:
+                if autoscaler is not None:
+                    autoscaler.observe(services[payload])
+                dispatch(payload, t, _EMPTY)
+        elif kind == "release":
+            scheduled_releases.discard(t)
+            for batch in policy.due(t):
+                execute_batch(batch, t)
+            schedule_release()
         elif kind == "redispatch":
-            k, excluded = payload
-            dispatch(k, t, excluded)
+            job, excluded = payload
+            dispatch(job, t, excluded)
         elif kind == "fault":
             event = payload
             if event.kind == "crash":
@@ -435,22 +574,44 @@ def simulate_faulty_service(stream: ArrivalStream,
                 stats.throttle_windows += 1
                 push(event.end, _PRIO_FAULT, "fault_end",
                      ("throttle", event.node, event.severity))
+                if rec is not None:
+                    rec.events.append(
+                        (t, "throttle_start", event.node, None, None,
+                         {"severity": event.severity,
+                          "until": event.end}))
             else:  # disk
                 disk_active[event.node].append(event.severity)
                 recompute(event.node)
                 stats.disk_failures += 1
                 push(event.end, _PRIO_FAULT, "fault_end",
                      ("disk", event.node, event.severity))
+                if rec is not None:
+                    rec.events.append(
+                        (t, "disk_fail", event.node, None, None,
+                         {"severity": event.severity,
+                          "until": event.end}))
         elif kind == "fault_end":
             which, i, severity = payload
             lanes = throttle_active if which == "throttle" else disk_active
             lanes[i].remove(severity)
             recompute(i)
+            if rec is not None:
+                rec.events.append(
+                    (t, "throttle_end" if which == "throttle"
+                     else "disk_recover", i, None, None,
+                     {"severity": severity}))
         elif kind == "crash_deferred":
             i, downtime = payload
             do_crash(i, t, downtime)
         else:  # repair
             do_repair(payload, t)
+
+    if batching:
+        # every open hold had a scheduled release, so this is normally
+        # empty; it guards third-party batching policies whose
+        # ``next_deadline`` under-reports
+        for batch in policy.flush():
+            execute_batch(batch, batch.release_at)
 
     # -- close the books ----------------------------------------------
     end = max(last_completion, times[-1])
@@ -525,6 +686,8 @@ def simulate_faulty_service(stream: ArrivalStream,
         classes=rollup_classes(node_stats),
         fleet=fleet.to_dict(),
     )
+    if rec is not None:
+        rec.end_run(end, report)
     if mirror is not None:
         mirror.finish(end, report)
     return report

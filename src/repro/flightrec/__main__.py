@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.flightrec``."""
+
+import sys
+
+from repro.flightrec.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Flight-recording exporters: JSONL event streams and tidy CSV.
+
+Three shapes, all stream-friendly (write row by row, no buffering of
+the whole recording):
+
+* :func:`write_events_jsonl` — one JSON object per event line, the
+  interchange format for downstream log tooling;
+* :func:`write_events_csv` — the same stream as a flat table (the
+  kind-specific payload rides as one JSON-encoded column);
+* :func:`write_queries_csv` — the columnar per-query table, one row
+  per arrival, for spreadsheet-side latency/energy work.
+
+Every writer takes an open text file handle, so the CLI can point
+them at a file or at stdout equally.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Optional, TextIO
+
+from repro.flightrec.events import (_QUERY_COLUMNS, FleetEvent,
+                                    FlightRecording)
+
+#: the flat event columns, payload last
+EVENT_COLUMNS = ("t", "kind", "node", "tenant", "query", "data")
+
+
+def iter_events(recording: FlightRecording,
+                kinds: Optional[Iterable[str]] = None,
+                ) -> Iterable[FleetEvent]:
+    """The recording's events, optionally filtered to ``kinds``."""
+    if kinds is None:
+        return iter(recording.events)
+    return recording.events_of(*kinds)
+
+
+def write_events_jsonl(recording: FlightRecording, fh: TextIO,
+                       kinds: Optional[Iterable[str]] = None) -> int:
+    """One compact JSON object per line; returns the line count."""
+    n = 0
+    for e in iter_events(recording, kinds):
+        fh.write(json.dumps(
+            {"t": e.t, "kind": e.kind, "node": e.node,
+             "tenant": e.tenant, "query": e.query,
+             "data": dict(e.data)},
+            sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+        n += 1
+    return n
+
+
+def write_events_csv(recording: FlightRecording, fh: TextIO,
+                     kinds: Optional[Iterable[str]] = None) -> int:
+    """The event stream as a flat CSV table; returns the row count."""
+    writer = csv.writer(fh, lineterminator="\n")
+    writer.writerow(EVENT_COLUMNS)
+    n = 0
+    for e in iter_events(recording, kinds):
+        writer.writerow([e.t, e.kind, e.node, e.tenant, e.query,
+                         json.dumps(dict(e.data), sort_keys=True)])
+        n += 1
+    return n
+
+
+def write_queries_csv(recording: FlightRecording, fh: TextIO) -> int:
+    """The per-query columnar table as CSV, one row per arrival."""
+    writer = csv.writer(fh, lineterminator="\n")
+    writer.writerow(("query",) + _QUERY_COLUMNS)
+    q = recording.queries
+    n = recording.n_queries
+    for k in range(n):
+        writer.writerow([k] + [q[c][k] for c in _QUERY_COLUMNS])
+    return n

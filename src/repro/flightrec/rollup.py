@@ -1,0 +1,250 @@
+"""Windowed time-series rollups over a flight recording.
+
+The recording's raw material is spans and instants; operators read
+curves.  This module tumbles the run into fixed windows and produces,
+per window: each node's busy fraction and average power draw (idle
+draw over powered-on time, active draw over execution spans,
+boot/drain lumps landing in the window that contains the transition
+instant), each tenant's completion count, latency percentiles, and
+active Joules per query (a batch's active energy splits evenly across
+its members), and the fleet's total draw.  Summing any node's
+per-window ``watts * window`` over all windows reproduces that node's
+share of :meth:`~repro.flightrec.events.FlightRecording.
+replayed_energy_joules` — the rollup is a re-binning of the audit, not
+a second estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.flightrec.events import (BOOT, CRASH, DONE, DRAIN,
+                                    TRUNCATED_SERVE, FlightRecording)
+from repro.service.report import quantile
+
+
+def default_window_seconds(end: float, target_windows: int = 60) -> float:
+    """A window width giving ~``target_windows`` windows over the run."""
+    if end <= 0:
+        return 1.0
+    return end / target_windows
+
+
+def window_starts(end: float, window_seconds: float) -> list[float]:
+    n = max(1, math.ceil(end / window_seconds - 1e-9))
+    return [i * window_seconds for i in range(n)]
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def _execution_spans(recording: FlightRecording) \
+        -> list[tuple[int, float, float, float, float]]:
+    """Every distinct execution span: (node, start, end, busy_watts,
+    frequency).
+
+    Solo queries, shared batches (once each), and crash-truncated
+    partial spans — the same span set the energy audit prices.
+    """
+    peak = [n["model"]["peak_watts"] for n in recording.meta["nodes"]]
+    spans: list[tuple[int, float, float, float, float]] = []
+    q = recording.queries
+    for node, start, completion, watts, batch, freq in zip(
+            q["node"], q["start"], q["completion"], q["watts"],
+            q["batch"], q["frequency"]):
+        if completion is None or batch is not None:
+            continue
+        spans.append((node, start, completion,
+                      peak[node] if watts is None else watts, freq))
+    b = recording.batches
+    for node, start, completion, watts, freq in zip(
+            b["node"], b["start"], b["completion"], b["watts"],
+            b["frequency"]):
+        if completion is None:
+            continue
+        spans.append((node, start, completion,
+                      peak[node] if watts is None else watts, freq))
+    for e in recording.events_of(TRUNCATED_SERVE):
+        spans.append((e.node, e.data["start"], e.data["end"],
+                      e.data["watts"], 1.0))
+    return spans
+
+
+def _on_spans(recording: FlightRecording) \
+        -> tuple[list[list[tuple[float, float, float]]],
+                 list[list[tuple[float, float]]]]:
+    """Per node: powered-on spans (start, end, boot_window) and
+    transition lumps [(t, joules)]."""
+    nodes = recording.meta["nodes"]
+    end = recording.end
+    on: list[list[tuple[float, float, float]]] = [[] for _ in nodes]
+    lumps: list[list[tuple[float, float]]] = [[] for _ in nodes]
+    lifecycle: list[list[tuple[float, str]]] = [[] for _ in nodes]
+    for e in recording.events_of(BOOT, DRAIN, CRASH):
+        lifecycle[e.node].append((e.t, e.kind))
+    for i, spec in enumerate(nodes):
+        model = spec["model"]
+        on_since = 0.0 if spec["initially_on"] else None
+        boot_window = 0.0
+        for t, kind in sorted(lifecycle[i]):
+            if kind == BOOT:
+                lumps[i].append((t, model["boot_joules"]))
+                on_since = t
+                boot_window = model["boot_seconds"]
+            elif on_since is not None:
+                on[i].append((on_since, t, boot_window))
+                if kind == DRAIN:
+                    lumps[i].append((t, model["drain_joules"]))
+                on_since = None
+        if on_since is not None:
+            on[i].append((on_since, end, boot_window))
+    return on, lumps
+
+
+def node_rollup(recording: FlightRecording,
+                window_seconds: Optional[float] = None) -> dict[str, Any]:
+    """Per-node busy-fraction and average-watts curves.
+
+    Returns ``{"window_seconds", "t": [starts...], "nodes": [{"name",
+    "busy_fraction": [...], "watts": [...]}, ...], "fleet_watts":
+    [...]}``.
+    """
+    end = recording.end
+    if window_seconds is None:
+        window_seconds = default_window_seconds(end)
+    starts = window_starts(end, window_seconds)
+    n_nodes = recording.n_nodes
+    idle = [n["model"]["idle_watts"] for n in recording.meta["nodes"]]
+    busy = [[0.0] * len(starts) for _ in range(n_nodes)]
+    energy = [[0.0] * len(starts) for _ in range(n_nodes)]
+    on, lumps = _on_spans(recording)
+
+    def each_window(s0: float, s1: float):
+        w0 = max(0, int(s0 / window_seconds))
+        w1 = min(len(starts) - 1, int(s1 / window_seconds))
+        for w in range(w0, w1 + 1):
+            t0 = starts[w]
+            yield w, _overlap(s0, s1, t0, t0 + window_seconds)
+
+    for i in range(n_nodes):
+        for s0, s1, boot_window in on[i]:
+            # idle draw runs over the span net of its atomic boot
+            # window (the lump already paid for those seconds)
+            for w, dt in each_window(s0 + boot_window, s1):
+                energy[i][w] += idle[i] * dt
+        for t, joules in lumps[i]:
+            w = min(len(starts) - 1, int(t / window_seconds))
+            energy[i][w] += joules
+    for i, s0, s1, watts, _freq in _execution_spans(recording):
+        for w, dt in each_window(s0, s1):
+            busy[i][w] += dt
+            energy[i][w] += (watts - idle[i]) * dt
+
+    nodes_out = []
+    for i in range(n_nodes):
+        nodes_out.append({
+            "name": recording.node_name(i),
+            "busy_fraction": [b / window_seconds for b in busy[i]],
+            "watts": [e / window_seconds for e in energy[i]],
+        })
+    fleet = [sum(nodes_out[i]["watts"][w] for i in range(n_nodes))
+             for w in range(len(starts))]
+    return {"window_seconds": window_seconds, "t": starts,
+            "nodes": nodes_out, "fleet_watts": fleet}
+
+
+def tenant_rollup(recording: FlightRecording,
+                  window_seconds: Optional[float] = None) -> dict[str, Any]:
+    """Per-tenant latency and Joules/query curves, windowed by
+    completion time.
+
+    Returns ``{"window_seconds", "t", "tenants": [{"name", "sla",
+    "completed": [...], "p95": [...], "joules_per_query": [...]},
+    ...]}``.
+    """
+    end = recording.end
+    if window_seconds is None:
+        window_seconds = default_window_seconds(end)
+    starts = window_starts(end, window_seconds)
+    idle = [n["model"]["idle_watts"] for n in recording.meta["nodes"]]
+    peak = [n["model"]["peak_watts"] for n in recording.meta["nodes"]]
+    n_t = len(recording.meta["tenants"])
+    lat: list[list[list[float]]] = \
+        [[[] for _ in starts] for _ in range(n_t)]
+    joules: list[list[float]] = [[0.0] * len(starts) for _ in range(n_t)]
+
+    q = recording.queries
+    b = recording.batches
+    members_of = b["members"]
+    for k in range(recording.n_queries):
+        completion = q["completion"][k]
+        if completion is None or q["state"][k] != DONE:
+            continue
+        w = min(len(starts) - 1, int(completion / window_seconds))
+        ti = q["tenant"][k]
+        lat[ti][w].append(completion - q["arrival"][k])
+        node = q["node"][k]
+        watts = q["watts"][k]
+        active = (peak[node] if watts is None else watts) - idle[node]
+        batch = q["batch"][k]
+        if batch is None:
+            joules[ti][w] += active * (completion - q["start"][k])
+        else:
+            # the shared execution's energy splits across its members
+            joules[ti][w] += active \
+                * (b["completion"][batch] - b["start"][batch]) \
+                / members_of[batch]
+
+    tenants_out = []
+    for ti in range(n_t):
+        completed = [len(ws) for ws in lat[ti]]
+        tenants_out.append({
+            "name": recording.tenant_name(ti),
+            "sla": recording.tenant_sla(ti),
+            "completed": completed,
+            "p95": [quantile(sorted(ws), 0.95) if ws else None
+                    for ws in lat[ti]],
+            "joules_per_query": [
+                j / c if c else None
+                for j, c in zip(joules[ti], completed)],
+        })
+    return {"window_seconds": window_seconds, "t": starts,
+            "tenants": tenants_out}
+
+
+def summarize(recording: FlightRecording) -> dict[str, Any]:
+    """The ``summarize`` CLI's payload: run shape, outcome mix, event
+    counts, and the energy audit (replay vs closed form)."""
+    meta = recording.meta
+    report = meta.get("report", {})
+    states: dict[str, int] = {}
+    for s in recording.queries["state"]:
+        key = s if s is not None else "unresolved"
+        states[key] = states.get(key, 0) + 1
+    replay = recording.replayed_energy_joules()
+    closed = report.get("energy_joules")
+    drift = (abs(replay - closed) / closed
+             if closed else None)
+    b = recording.batches
+    held = sum(m for m in b["members"] if m > 1)
+    return {
+        "engine": meta["engine"],
+        "policy": meta["policy"],
+        "autoscaled": meta["autoscaled"],
+        "nodes": recording.n_nodes,
+        "tenants": len(meta["tenants"]),
+        "queries": recording.n_queries,
+        "end_seconds": recording.end,
+        "states": dict(sorted(states.items())),
+        "batches": len(b["members"]),
+        "queries_batched": held,
+        "batch_saved_seconds": math.fsum(
+            r - c for r, c in zip(b["raw_seconds"],
+                                  b["combined_seconds"])),
+        "events": recording.counts(),
+        "energy_joules_closed_form": closed,
+        "energy_joules_replayed": replay,
+        "energy_relative_drift": drift,
+    }

@@ -31,6 +31,7 @@ import sys
 from typing import Any, Optional, Sequence
 
 from repro.core.report import format_table
+from repro.cli import run_guarded
 from repro.errors import ReproError
 
 DEFAULT_HISTORY_DIR = "."
@@ -204,29 +205,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args, extras = parser.parse_known_args(argv)
-    try:
+    def dispatch() -> int:
         if args.command == "record":
-            code = _cmd_record(args, extras)
-        else:
-            if extras:
-                parser.error(
-                    f"unrecognized arguments: {' '.join(extras)}")
-            if args.command == "compare":
-                code = _cmd_compare(args)
-            elif args.command == "gate":
-                code = _cmd_gate(args)
-            else:
-                code = _cmd_report(args)
-        # surface a closed pipe now, while the guard below can still
-        # swallow it, instead of at interpreter-shutdown flush
-        sys.stdout.flush()
-        return code
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except BrokenPipeError:
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+            return _cmd_record(args, extras)
+        if extras:
+            parser.error(f"unrecognized arguments: {' '.join(extras)}")
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "gate":
+            return _cmd_gate(args)
+        return _cmd_report(args)
+
+    return run_guarded(dispatch)
 
 
 if __name__ == "__main__":

@@ -31,11 +31,16 @@ from repro.observatory.record import BenchRecord
 from repro.observatory.regression import RegressionReport
 
 #: fixed categorical slot order (validated palette; devices take slots
-#: in first-seen order and never re-map when a device disappears)
-_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
-                 "#e87ba4", "#008300", "#4a3aa7", "#e34948")
-_SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
-                "#d55181", "#008300", "#9085e9", "#e66767")
+#: in first-seen order and never re-map when a device disappears).
+#: Public: the flight-recorder timeline console reuses these so every
+#: HTML artifact the repo emits shares one palette.
+SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
+               "#d55181", "#008300", "#9085e9", "#e66767")
+#: deprecated aliases (pre-flightrec names)
+_SERIES_LIGHT = SERIES_LIGHT
+_SERIES_DARK = SERIES_DARK
 
 _CSS = """
 :root {
@@ -256,7 +261,12 @@ def _series_card(key: tuple[str, str],
     metric = next((m for m in _TREND_METRICS
                    if any(m in r.metrics for r in history)), None)
     if metric is None:
-        return ""
+        # no preferred metric: fall back to any recorded metric so
+        # every suite renders a trend without per-suite wiring
+        seen = sorted({m for r in history for m in r.metrics})
+        if not seen:
+            return ""
+        metric = seen[0]
     values = [r.metrics[metric] for r in history if metric in r.metrics]
     latest = values[-1]
     eff = history[-1].metrics.get("records_per_second_per_watt")

@@ -31,12 +31,15 @@ def _package_version() -> str:
 
 
 def point_key(experiment: str, knobs: Mapping[str, Any], seed: int,
-              version: str | None = None, trace: bool = False) -> str:
+              version: str | None = None, trace: bool = False,
+              record: bool = False) -> str:
     """The cache identity of one sweep point.
 
     Traced points live under distinct keys (their payloads carry the
-    telemetry trace); ``trace=False`` keys are unchanged from before
-    telemetry existed, so existing caches stay valid.
+    telemetry trace), and likewise recorded points (their payloads
+    carry the flight recording); ``trace=False, record=False`` keys
+    are unchanged from before either existed, so existing caches stay
+    valid.
     """
     identity: dict[str, Any] = {
         "version": version if version is not None else _package_version(),
@@ -46,6 +49,8 @@ def point_key(experiment: str, knobs: Mapping[str, Any], seed: int,
     }
     if trace:
         identity["trace"] = True
+    if record:
+        identity["record"] = True
     return stable_hash(identity)
 
 

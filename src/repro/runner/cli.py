@@ -3,7 +3,8 @@
 Subcommands::
 
     run EXPERIMENT [--workers N] [--seed S] [--no-cache] [--json]
-                   [--trace] [--<knob> value ...]   # e.g. --disks 36,66
+                   [--trace] [--record]
+                   [--<knob> value ...]             # e.g. --disks 36,66
     trace EXPERIMENT [--json | --csv] [--active] [--width N]
                    [--<knob> value ...]      # energy-attribution report
     list                                     # registered experiments
@@ -12,7 +13,11 @@ Subcommands::
 ``trace`` runs the experiment with telemetry capture on (reports are
 identical to ``run``; traced points cache separately) and prints, per
 point, the span-tree energy flamegraph, the per-device breakdown, and
-any counters — or the whole thing as JSON / tidy CSV.
+any counters — or the whole thing as JSON / tidy CSV.  ``run
+--record`` instead captures a fleet flight recording per point (also
+report-identical, also cached separately); feed the ``--json`` output
+to ``python -m repro.flightrec`` for summaries, SLO burn analysis,
+and the timeline console.
 
 Knob flags are generic: any ``--name value`` pair after the known
 options overrides that knob, and a comma-separated value makes the
@@ -23,10 +28,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import Any, Optional, Sequence
 
+from repro.cli import run_guarded
 from repro.core.report import format_table
 from repro.errors import ReproError
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -101,6 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", action="store_true",
                      help="capture telemetry (traces ride the JSON "
                           "output and the cache)")
+    run.add_argument("--record", action="store_true",
+                     help="capture a fleet flight recording (rides the "
+                          "JSON output and the cache; inspect with "
+                          "python -m repro.flightrec)")
 
     trace = sub.add_parser(
         "trace", help="run with telemetry and print the energy report")
@@ -182,7 +191,8 @@ def _cmd_run(args: argparse.Namespace, extras: Sequence[str]) -> int:
     defn = get_experiment(args.experiment)
     on_event = None if args.quiet else EventPrinter()
     result = Runner(workers=args.workers, cache=cache,
-                    on_event=on_event, trace=args.trace).run(spec)
+                    on_event=on_event, trace=args.trace,
+                    record=args.record).run(spec)
 
     if args.as_json:
         print(result.to_json())
@@ -245,34 +255,21 @@ def _cmd_trace(args: argparse.Namespace, extras: Sequence[str]) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args, extras = parser.parse_known_args(argv)
-    try:
+
+    def dispatch() -> int:
         if args.command == "list":
             if extras:
                 parser.error(f"unrecognized arguments: {' '.join(extras)}")
-            code = _cmd_list()
-        elif args.command == "cache":
+            return _cmd_list()
+        if args.command == "cache":
             if extras:
                 parser.error(f"unrecognized arguments: {' '.join(extras)}")
-            code = _cmd_cache(args)
-        elif args.command == "trace":
-            code = _cmd_trace(args, extras)
-        else:
-            code = _cmd_run(args, extras)
-        # flush inside the guard: output smaller than the pipe buffer
-        # would otherwise surface BrokenPipeError only at interpreter
-        # shutdown, past any except clause
-        sys.stdout.flush()
-        return code
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except BrokenPipeError:
-        # Downstream closed the pipe early (e.g. ``... | head``); park
-        # stdout on devnull so the interpreter's shutdown flush doesn't
-        # raise again, and exit quietly.  Applies to every subcommand,
-        # run/list/cache included, not just trace.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+            return _cmd_cache(args)
+        if args.command == "trace":
+            return _cmd_trace(args, extras)
+        return _cmd_run(args, extras)
+
+    return run_guarded(dispatch)
 
 
 if __name__ == "__main__":

@@ -52,6 +52,19 @@ class PointTraced:
 
 
 @dataclass(frozen=True)
+class PointRecorded:
+    """Follows ``PointFinished`` for every flight-recorded point
+    (cache hits included); ``recording`` is the decoded
+    :class:`~repro.flightrec.events.FlightRecording`."""
+
+    index: int
+    total_points: int
+    knobs: Mapping[str, Any]
+    recording: Any
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
 class RunFinished:
     experiment: str
     total_points: int
@@ -100,6 +113,13 @@ class EventPrinter:
                                  for k, v in sorted(totals.items()))
                 print(f"  [{event.index + 1}/{event.total_points}] trace"
                       f"  {brief}", file=out)
+        elif isinstance(event, PointRecorded):
+            if self.verbose:
+                rec = event.recording
+                print(f"  [{event.index + 1}/{event.total_points}] rec"
+                      f"  {rec.n_nodes} node(s)"
+                      f"  {rec.n_queries} query(ies)"
+                      f"  {len(rec.events)} event(s)", file=out)
         elif isinstance(event, RunFinished):
             print(f"run {event.experiment}: {event.total_points} point(s)"
                   f" in {event.host_seconds:.2f}s host time"

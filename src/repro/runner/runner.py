@@ -19,9 +19,11 @@ from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, point_key
+from repro.flightrec.events import FlightRecording
 from repro.runner.events import (
     EventSink,
     PointFinished,
+    PointRecorded,
     PointStarted,
     PointTraced,
     RunFinished,
@@ -54,12 +56,14 @@ class PointResult:
     host_seconds: float = 0.0
     cache_hit: bool = False
     telemetry: Optional[TelemetryTrace] = None
+    recording: Optional[FlightRecording] = None
 
     def to_dict(self) -> dict[str, Any]:
         """Deterministic content only — host timing and cache
         provenance stay off the record so parallel, serial, and cached
-        runs serialize to the same bytes.  Telemetry traces are
-        sim-time-deterministic, so traced points carry theirs."""
+        runs serialize to the same bytes.  Telemetry traces and flight
+        recordings are sim-time-deterministic, so traced/recorded
+        points carry theirs."""
         out = {
             "index": self.index,
             "knobs": {k: v for k, v in sorted(self.knobs.items())},
@@ -71,6 +75,8 @@ class PointResult:
         }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.to_dict()
+        if self.recording is not None:
+            out["flightrec"] = self.recording.to_dict()
         return out
 
 
@@ -143,7 +149,9 @@ class RunResult:
                 report=decode_report(p["report"]),
                 sim_seconds=p["sim_seconds"], joules=p["joules"],
                 telemetry=(TelemetryTrace.from_dict(p["telemetry"])
-                           if "telemetry" in p else None))
+                           if "telemetry" in p else None),
+                recording=(FlightRecording.from_dict(p["flightrec"])
+                           if p.get("flightrec") else None))
             for p in data["points"]
         ]
         return cls(spec=spec, points=points)
@@ -170,20 +178,25 @@ class Runner:
     structured progress events from :mod:`repro.runner.events`;
     ``trace=True`` runs every point under a telemetry capture —
     results gain ``PointResult.telemetry`` and each point emits a
-    :class:`~repro.runner.events.PointTraced` event.  Tracing is a
-    runtime option, not part of the spec: traced and untraced runs of
-    the same spec produce identical reports (and cache separately).
+    :class:`~repro.runner.events.PointTraced` event.  ``record=True``
+    runs every point under a fleet flight recorder the same way —
+    results gain ``PointResult.recording`` and each recorded point
+    emits a :class:`~repro.runner.events.PointRecorded` event.
+    Tracing and recording are runtime options, not part of the spec:
+    traced/recorded and plain runs of the same spec produce identical
+    reports (and cache separately).
     """
 
     def __init__(self, workers: int = 1, cache: CacheLike = True,
                  on_event: Optional[EventSink] = None,
-                 trace: bool = False):
+                 trace: bool = False, record: bool = False):
         if workers < 1:
             raise ReproError("workers must be >= 1")
         self.workers = workers
         self.cache = _resolve_cache(cache)
         self.on_event = on_event
         self.trace = trace
+        self.record = record
 
     # -- internals ---------------------------------------------------
 
@@ -197,7 +210,8 @@ class Runner:
         for point in spec.points():
             task: PointTask = (spec.experiment, point,
                                spec.point_seed(point))
-            tasks.append((task, point_key(*task, trace=self.trace)))
+            tasks.append((task, point_key(*task, trace=self.trace,
+                                          record=self.record)))
         return tasks
 
     def _finish(self, spec: ExperimentSpec, index: int, total: int,
@@ -206,6 +220,9 @@ class Runner:
         raw_trace = payload.get("telemetry")
         telemetry = (TelemetryTrace.from_dict(raw_trace)
                      if raw_trace is not None else None)
+        raw_recording = payload.get("flightrec")
+        recording = (FlightRecording.from_dict(raw_recording)
+                     if raw_recording else None)
         result = PointResult(
             index=index, knobs=dict(payload["knobs"]),
             seed=payload["seed"],
@@ -213,7 +230,7 @@ class Runner:
             sim_seconds=payload["sim_seconds"],
             joules=payload["joules"],
             host_seconds=host_seconds, cache_hit=cache_hit,
-            telemetry=telemetry)
+            telemetry=telemetry, recording=recording)
         self._emit(PointFinished(
             index=index, total_points=total, knobs=result.knobs,
             sim_seconds=result.sim_seconds, joules=result.joules,
@@ -222,6 +239,10 @@ class Runner:
             self._emit(PointTraced(
                 index=index, total_points=total, knobs=result.knobs,
                 trace=telemetry, cache_hit=cache_hit))
+        if recording is not None:
+            self._emit(PointRecorded(
+                index=index, total_points=total, knobs=result.knobs,
+                recording=recording, cache_hit=cache_hit))
         return result
 
     # -- the entry point ---------------------------------------------
@@ -240,8 +261,8 @@ class Runner:
         pending: list[tuple[int, PointTask, str]] = []
         for index, (task, key) in enumerate(tasks):
             payload = self.cache.get(key) if self.cache else None
-            if payload is not None and payload_matches(payload, task,
-                                                       trace=self.trace):
+            if payload is not None and payload_matches(
+                    payload, task, trace=self.trace, record=self.record):
                 results[index] = self._finish(
                     spec, index, total, payload, cache_hit=True,
                     host_seconds=0.0)
@@ -270,7 +291,8 @@ class Runner:
         for index, task, key in pending:
             self._emit(PointStarted(index=index, total_points=total,
                                     knobs=task[1]))
-            payload = execute_point(task, trace=self.trace)
+            payload = execute_point(task, trace=self.trace,
+                                    record=self.record)
             if self.cache:
                 self.cache.put(key, payload)
             results[index] = self._finish(
@@ -281,7 +303,8 @@ class Runner:
                   pending: Sequence[tuple[int, PointTask, str]],
                   total: int, results: dict[int, PointResult]) -> None:
         keys = {index: key for index, _, key in pending}
-        items = [(index, task, self.trace) for index, task, _ in pending]
+        items = [(index, task, self.trace, self.record)
+                 for index, task, _ in pending]
         workers = min(self.workers, len(items))
         for index, task, _ in pending:
             self._emit(PointStarted(index=index, total_points=total,

@@ -30,26 +30,47 @@ class PointExecutionError(ReproError):
     """
 
 
-def execute_point(task: PointTask, trace: bool = False) -> dict[str, Any]:
+def execute_point(task: PointTask, trace: bool = False,
+                  record: bool = False) -> dict[str, Any]:
     """Run one point and return its cacheable payload.
 
     With ``trace=True`` the point simulates under a telemetry capture
     and the payload carries the serialized
     :class:`~repro.telemetry.trace.TelemetryTrace` under
     ``"telemetry"`` — a JSON-safe dict, so traces ride the process
-    pool and the result cache like any other payload field.
+    pool and the result cache like any other payload field.  With
+    ``record=True`` the point simulates under a flight recorder and
+    the payload carries the serialized
+    :class:`~repro.flightrec.events.FlightRecording` under
+    ``"flightrec"`` the same way.
     """
     experiment, knobs, seed = task
     defn = get_experiment(experiment)
     started = time.perf_counter()
     telemetry = None
+    flightrec = None
     try:
-        if trace:
-            # imported lazily: untraced workers never touch telemetry
-            from repro.telemetry import capture
-            with capture() as collector:
+        if trace or record:
+            import contextlib
+            with contextlib.ExitStack() as stack:
+                collector = None
+                recorder = None
+                if trace:
+                    # lazy imports: plain workers never touch the
+                    # telemetry or flightrec machinery
+                    from repro.telemetry import capture
+                    collector = stack.enter_context(capture())
+                if record:
+                    from repro.flightrec import record as start_recording
+                    recorder = stack.enter_context(start_recording())
                 report = defn.call_point(knobs, seed)
-            telemetry = collector.finalize().to_dict()
+            if collector is not None:
+                telemetry = collector.finalize().to_dict()
+            if recorder is not None:
+                # a point that never enters a serving engine records
+                # nothing; the payload still marks the recorded run
+                flightrec = (recorder.finalize().to_dict()
+                             if recorder.has_run else None)
         else:
             report = defn.call_point(knobs, seed)
     except ReproError:
@@ -72,24 +93,28 @@ def execute_point(task: PointTask, trace: bool = False) -> dict[str, Any]:
     }
     if telemetry is not None:
         payload["telemetry"] = telemetry
+    if record:
+        payload["flightrec"] = flightrec
     return payload
 
 
-def execute_indexed(item: tuple[int, PointTask, bool]
+def execute_indexed(item: tuple[int, PointTask, bool, bool]
                     ) -> tuple[int, dict[str, Any]]:
     """Pool adapter: keep the point's grid index with its payload so
     out-of-order completion can be reassembled deterministically."""
-    index, task, trace = item
-    return index, execute_point(task, trace=trace)
+    index, task, trace, record = item
+    return index, execute_point(task, trace=trace, record=record)
 
 
 def payload_matches(payload: Mapping[str, Any], task: PointTask,
-                    trace: bool = False) -> bool:
+                    trace: bool = False, record: bool = False) -> bool:
     """Paranoia check for cache payloads: same point, same seed —
-    and, for traced runs, a stored trace."""
+    and, for traced runs, a stored trace (likewise a stored flight
+    recording for recorded runs)."""
     experiment, knobs, seed = task
     return (payload.get("experiment") == experiment
             and payload.get("seed") == seed
             and payload.get("knobs") == knobs
             and "report" in payload
-            and (not trace or "telemetry" in payload))
+            and (not trace or "telemetry" in payload)
+            and (not record or "flightrec" in payload))

@@ -129,20 +129,35 @@ class Autoscaler:
         want = min(total_capacity, self.desired_capacity())
         on_capacity = sum(nodes[i].model.speed_factor for i in on_ids)
 
+        from repro.flightrec.context import current_recorder
+        rec = current_recorder()
+        log = (None if rec is None else
+               {"booted": [], "drained": [], "rejected": []})
         if on_capacity < want or len(on_ids) < self.min_nodes:
-            self._scale_up(now, nodes, on_ids, on_capacity, want)
+            self._scale_up(now, nodes, on_ids, on_capacity, want, log)
             self._below_since = None
         elif self._can_shrink(nodes, on_ids, on_capacity, want):
             if self._below_since is None:
                 self._below_since = now
-            self._scale_down(now, nodes, on_ids, on_capacity, want)
+            self._scale_down(now, nodes, on_ids, on_capacity, want, log)
         else:
             self._below_since = None
         self.decisions.append((now, len(on_ids)))
+        if rec is not None:
+            for i in log["booted"]:
+                rec.events.append((now, "boot", i, None, None,
+                                   {"reason": "scale_up"}))
+            for i in log["drained"]:
+                rec.events.append((now, "drain", i, None, None,
+                                   {"reason": "scale_down"}))
+            rec.events.append(
+                (now, "scale", None, None, None,
+                 {"on": len(on_ids), "want_capacity": want,
+                  "on_capacity": on_capacity, **log}))
 
     def _scale_up(self, now: float, nodes: Sequence[FleetNode],
                   on_ids: list[int], on_capacity: float,
-                  want: float) -> None:
+                  want: float, log=None) -> None:
         target = self.target_utilization
         off = sorted(
             (i for i in range(len(nodes)) if not nodes[i].on),
@@ -161,8 +176,12 @@ class Autoscaler:
             if nodes[i].busy_until <= now:
                 nodes[i].power_on(now)
                 booted.append(i)
+            elif log is not None:
+                log["rejected"].append([i, "draining"])
         on_ids.extend(booted)
         on_ids.sort()
+        if log is not None:
+            log["booted"].extend(booted)
 
     def _can_shrink(self, nodes: Sequence[FleetNode], on_ids: list[int],
                     on_capacity: float, want: float) -> bool:
@@ -195,6 +214,9 @@ class Autoscaler:
         spares = sorted(
             (i for i in range(len(nodes)) if not nodes[i].on),
             key=lambda i: (self._work_cost(nodes[i].model, target), i))
+        from repro.flightrec.context import current_recorder
+        rec = current_recorder()
+        rejected: list[list] = []
         booted: list[int] = []
         for i in spares:
             if on_capacity >= want \
@@ -202,21 +224,33 @@ class Autoscaler:
                 break
             node = nodes[i]
             if downtime_seconds < node.model.breakeven_seconds():
+                rejected.append([i, "breakeven"])
                 continue
             if node.busy_until <= now:
                 node.power_on(now)
                 booted.append(i)
                 on_capacity += node.model.speed_factor
+            else:
+                rejected.append([i, "draining"])
         if booted:
             on_ids.extend(booted)
             on_ids.sort()
             self.emergency_boots += len(booted)
             self.decisions.append((now, len(on_ids)))
+        if rec is not None:
+            for i in booted:
+                rec.events.append((now, "boot", i, None, None,
+                                   {"reason": "emergency"}))
+            rec.events.append(
+                (now, "emergency_scale", None, None, None,
+                 {"downtime_seconds": downtime_seconds,
+                  "want_capacity": want, "booted": booted,
+                  "rejected": rejected}))
         return booted
 
     def _scale_down(self, now: float, nodes: Sequence[FleetNode],
                     on_ids: list[int], on_capacity: float,
-                    want: float) -> None:
+                    want: float, log=None) -> None:
         if self._below_since is None:  # pragma: no cover - guarded
             return
         below_for = now - self._below_since
@@ -234,13 +268,21 @@ class Autoscaler:
                 break
             node = nodes[i]
             if on_capacity - node.model.speed_factor < want:
+                if log is not None:
+                    log["rejected"].append([i, "capacity"])
                 continue
             if below_for < max(cooldown, node.model.breakeven_seconds()):
+                if log is not None:
+                    log["rejected"].append([i, "breakeven"])
                 continue
             if node.backlog(now) <= 0.0:
                 node.power_off(now)
                 on_ids.remove(i)
                 on_capacity -= node.model.speed_factor
+                if log is not None:
+                    log["drained"].append(i)
+            elif log is not None:
+                log["rejected"].append([i, "backlog"])
 
 
 def calibrated_drain_joules(

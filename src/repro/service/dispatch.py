@@ -382,6 +382,25 @@ class CostAware(DispatchPolicy):
         return best if best >= 0 else fastest
 
 
+def dispatch_candidates(ctx: DispatchContext, chosen: int) -> dict:
+    """The considered-candidate table behind one routing decision.
+
+    One row per powered-on node: ``[index, marginal watts, marginal
+    Joules for this arrival, estimated latency, fits-SLA]`` — the same
+    quantities the cost-aware and packing routers rank on.  The flight
+    recorder emits this (detail mode) so a recording can answer not
+    just *where* an arrival went but what the alternatives would have
+    cost in Joules and SLA slack.
+    """
+    return {
+        "chosen": chosen,
+        "candidates": [
+            [i, ctx.marginal_watts(i), ctx.marginal_joules(i),
+             ctx.estimated_latency_seconds(i), bool(ctx.fits_sla(i))]
+            for i in ctx.on_ids],
+    }
+
+
 #: policy name -> factory, for spec knobs and third-party extension
 DISPATCH_POLICIES: dict[str, Callable[..., DispatchPolicy]] = {}
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.service.autoscale import Autoscaler
 from repro.service.dispatch import (DispatchContext, DispatchPolicy,
-                                    make_policy)
+                                    dispatch_candidates, make_policy)
 from repro.service.node import FleetNode, NodePowerModel
 from repro.service.report import (ServiceError, ServiceReport, TenantStats,
                                   quantile, rollup_classes)
@@ -214,6 +214,12 @@ def simulate_service(stream: ArrivalStream,
     mirror = (None if collector is None else
               _TelemetryMirror(collector, nodes, start_on=True))
 
+    from repro.flightrec.context import current_recorder
+    rec = current_recorder()
+    if rec is not None:
+        rec.begin_run("fleet", stream, nodes, policy.name,
+                      autoscaler is not None)
+
     times = stream.times.tolist()
     services = stream.service_seconds.tolist()
     tenant_idx = stream.tenant_index
@@ -228,11 +234,14 @@ def simulate_service(stream: ArrivalStream,
 
     if policy.batching:
         last_completion = _serve_batched(
-            policy, nodes, on_ids, autoscaler, mirror, times, services,
-            tenant_idx, slas, latencies, admitted)
+            policy, nodes, on_ids, autoscaler, mirror, rec, times,
+            services, tenant_idx, slas, latencies, admitted)
     else:
         last_completion = 0.0
         dvfs = policy.dvfs
+        detail = rec is not None and rec.detail
+        lane = None if rec is None else rec.serve_lane
+        emit_dvfs = None if rec is None else rec.dvfs_serves.append
         for k in range(n):
             t = times[k]
             while t >= next_epoch:
@@ -245,10 +254,16 @@ def simulate_service(stream: ArrivalStream,
                 autoscaler.observe(s)
             ctx = DispatchContext(nodes, on_ids, t, s, slas[k])
             i = policy.route(ctx)
+            if detail:
+                rec.events.append((t, "dispatch", i, int(tenant_idx[k]),
+                                   k, dispatch_candidates(ctx, i)))
             node = nodes[i]
             if not policy.admits(node, t):
                 admitted[k] = False
                 latencies[k] = np.nan
+                if rec is not None:
+                    rec.events.append(
+                        (t, "reject", i, int(tenant_idx[k]), k, {}))
                 continue
             if dvfs and (freq := policy.frequency(ctx, i)) < 1.0:
                 model_i = node.model
@@ -256,10 +271,15 @@ def simulate_service(stream: ArrivalStream,
                     + (model_i.peak_watts - model_i.idle_watts) * freq ** 3
                 start, done = node.serve_active(t, s, busy_watts, freq)
                 latencies[k] = done - t
+                if emit_dvfs is not None:
+                    emit_dvfs((k, i, start, freq, busy_watts))
             else:
                 busy_watts = None
-                start = node.busy_until if node.busy_until > t else t
+                if mirror is not None:
+                    start = node.busy_until if node.busy_until > t else t
                 latencies[k] = node.serve(t, s)
+                if lane is not None:
+                    lane[k] = i
             if node.busy_until > last_completion:
                 last_completion = node.busy_until
             if mirror is not None:
@@ -310,6 +330,8 @@ def simulate_service(stream: ArrivalStream,
         classes=rollup_classes(node_stats),
         fleet=fleet.to_dict(),
     )
+    if rec is not None:
+        rec.end_run(end, report, latencies=latencies)
     if mirror is not None:
         mirror.finish(end, report)
     return report
@@ -320,6 +342,7 @@ def _serve_batched(policy: DispatchPolicy,
                    on_ids: list[int],
                    autoscaler: Optional[Autoscaler],
                    mirror: Optional[_TelemetryMirror],
+                   rec,
                    times: list[float],
                    services: list[float],
                    tenant_idx,
@@ -355,6 +378,7 @@ def _serve_batched(policy: DispatchPolicy,
     last_arrival = times[-1]
     last_completion = 0.0
     dvfs = policy.dvfs
+    detail = rec is not None and rec.detail
 
     def step_epochs(t: float) -> None:
         nonlocal next_epoch
@@ -372,11 +396,17 @@ def _serve_batched(policy: DispatchPolicy,
             autoscaler.observe(s)
         ctx = DispatchContext(nodes, on_ids, t, s, batch.sla_seconds)
         i = policy.route(ctx)
+        if detail:
+            rec.events.append((t, "dispatch", i, None, batch.members[0],
+                               dispatch_candidates(ctx, i)))
         node = nodes[i]
         if not policy.admits(node, t):
             for k in batch.members:
                 admitted[k] = False
                 latencies[k] = np.nan
+            if rec is not None:
+                rec.events.append((t, "reject", i, None, None,
+                                   {"members": list(batch.members)}))
             return
         if dvfs and (freq := policy.frequency(ctx, i)) < 1.0:
             model_i = node.model
@@ -384,6 +414,7 @@ def _serve_batched(policy: DispatchPolicy,
                 + (model_i.peak_watts - model_i.idle_watts) * freq ** 3
             start, done = node.serve_active(t, s, busy_watts, freq)
         else:
+            freq = 1.0
             busy_watts = None
             start = node.busy_until if node.busy_until > t else t
             node.serve(t, s)
@@ -397,6 +428,9 @@ def _serve_batched(policy: DispatchPolicy,
             last_completion = done
         if mirror is not None:
             mirror.serve(i, start, done, busy_watts)
+        if rec is not None:
+            rec.batch_serves.append(
+                (batch.members, i, t, start, done, s, freq, busy_watts))
 
     k = 0
     while True:

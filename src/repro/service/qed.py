@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.flightrec.context import current_recorder
 from repro.service.dispatch import (Batch, DispatchContext, DispatchPolicy,
                                     make_policy, register_policy)
 from repro.service.node import FleetNode
@@ -148,15 +149,31 @@ class QEDPolicy(DispatchPolicy):
             return [Batch((k,), now, service_seconds, sla_seconds)]
         key = (tenant, service_seconds)
         held = self._queues.get(key)
+        rec = current_recorder()
         if held is None:
             self._queues[key] = _Hold(k, now + window, service_seconds,
                                       sla_seconds)
+            if rec is not None:
+                rec.events.append((now, "hold_open", None, tenant, k,
+                                   {"deadline": now + window,
+                                    "window": window,
+                                    "service_seconds": service_seconds}))
             return []
         held.members.append(k)
         held.service_seconds += \
             service_seconds * (1.0 - self.shared_fraction)
+        if rec is not None:
+            rec.events.append((now, "hold_join", None, tenant, k,
+                               {"first": held.members[0],
+                                "size": len(held.members)}))
         if len(held.members) >= self.max_batch:
             del self._queues[key]
+            if rec is not None:
+                rec.events.append(
+                    (now, "batch_flush", None, tenant, None,
+                     {"first": held.members[0],
+                      "members": len(held.members), "reason": "full",
+                      "combined": held.service_seconds}))
             return [held.to_batch(now)]
         return []
 
@@ -170,19 +187,25 @@ class QEDPolicy(DispatchPolicy):
              if held.deadline <= now),
             key=lambda key: (self._queues[key].deadline,
                              self._queues[key].members[0]))
-        out = []
-        for key in ready:
-            held = self._queues.pop(key)
-            out.append(held.to_batch(held.deadline))
-        return out
+        return self._release(ready, "deadline")
 
     def flush(self) -> list[Batch]:
         ready = sorted(self._queues,
                        key=lambda key: (self._queues[key].deadline,
                                         self._queues[key].members[0]))
+        return self._release(ready, "flush")
+
+    def _release(self, ready, reason: str) -> list[Batch]:
+        rec = current_recorder()
         out = []
         for key in ready:
             held = self._queues.pop(key)
+            if rec is not None:
+                rec.events.append(
+                    (held.deadline, "batch_flush", None, key[0], None,
+                     {"first": held.members[0],
+                      "members": len(held.members), "reason": reason,
+                      "combined": held.service_seconds}))
             out.append(held.to_batch(held.deadline))
         return out
 

@@ -119,3 +119,53 @@ class TestDashboard:
         html = render_dashboard(_store_with_history(tmp_path))
         assert "prefers-color-scheme: dark" in html
         assert "--s1:" in html
+
+
+class TestSuiteAutoDiscovery:
+    """Every recorded BENCH_*.json suite renders a trend card without
+    per-suite wiring, whatever metrics it happens to carry."""
+
+    def test_every_recorded_suite_gets_a_section(self, tmp_path):
+        store = _store_with_history(tmp_path)
+        for suite in ("serving", "flightrec"):
+            store.append(BenchRecord(
+                suite=suite, benchmark="svc_smoke", point="defaults",
+                metrics={"joules": 100.0, "sim_seconds": 2.0}))
+        html = render_dashboard(store)
+        for suite in ("core", "serving", "flightrec"):
+            assert f"Suite: {suite}" in html
+
+    def test_suite_without_preferred_metric_still_trends(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        for i in range(3):
+            store.append(BenchRecord(
+                suite="latency", benchmark="svc_pvc_qed",
+                point="config=pvc_qed",
+                metrics={"p95_seconds": 1.5 + 0.1 * i},
+                recorded_at=f"2026-08-0{i+1}T00:00:00+00:00"))
+        html = render_dashboard(store)
+        assert "Suite: latency" in html
+        assert "<polyline" in html
+        assert "p95_seconds" in html
+
+    def test_metric_fallback_is_deterministic(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(BenchRecord(
+            suite="misc", benchmark="b", point="p",
+            metrics={"zeta": 2.0, "alpha": 1.0}))
+        html = render_dashboard(store)
+        # alphabetical fallback: "alpha" wins over "zeta"
+        assert "alpha: 1" in html
+
+
+class TestPublicPalette:
+    def test_palette_tuples_are_public_and_hex(self):
+        from repro.observatory.dashboard import SERIES_DARK, SERIES_LIGHT
+        assert len(SERIES_LIGHT) == len(SERIES_DARK)
+        for color in SERIES_LIGHT + SERIES_DARK:
+            assert color.startswith("#") and len(color) == 7
+
+    def test_flightrec_console_shares_the_palette(self):
+        import repro.flightrec.console as console
+        from repro.observatory.dashboard import SERIES_LIGHT
+        assert console.SERIES_LIGHT is SERIES_LIGHT

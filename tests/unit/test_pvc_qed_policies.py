@@ -169,18 +169,47 @@ class TestQEDHoldQueues:
             Batch((0,), 0.0, 0.0)
 
 
-class TestExecutionHookGuards:
-    def test_chaos_engine_rejects_execution_policies(self):
+class TestExecutionHooksUnderFaults:
+    """PVC/QED run on the chaos engine: every arrival still lands in
+    exactly one ledger bucket, and a degenerate QED window reproduces
+    the plain-policy chaos run byte for byte."""
+
+    def _chaos(self, policy):
         from repro.faults.engine import simulate_faulty_service
         from repro.faults.schedule import build_fault_schedule
-        stream = build_stream(200, seed=1)
+        stream = build_stream(600, seed=1)
         schedule = build_fault_schedule(
-            2, horizon_seconds=stream.duration_seconds, seed=0)
-        for policy in (PVCPolicy(), QEDPolicy()):
-            with pytest.raises(ServiceError, match="chaos engine"):
-                simulate_faulty_service(
-                    stream, schedule, fleet=FleetSpec.homogeneous(2),
-                    policy=policy)
+            4, horizon_seconds=stream.duration_seconds, seed=0,
+            intensity=2.0)
+        return simulate_faulty_service(
+            stream, schedule, fleet=FleetSpec.homogeneous(4),
+            policy=policy)
+
+    def test_chaos_engine_runs_execution_policies(self):
+        for policy in (PVCPolicy(), QEDPolicy(),
+                       QEDPolicy(inner=PVCPolicy())):
+            report = self._chaos(policy)
+            assert report.queries_offered == (
+                report.queries_completed + report.queries_rejected
+                + report.queries_lost)
+
+    def test_degenerate_qed_matches_plain_policy_under_faults(self):
+        import json
+        plain = self._chaos("power_aware")
+        degenerate = self._chaos(QEDPolicy(hold_seconds=0.0))
+        a, b = plain.to_dict(), degenerate.to_dict()
+        a.pop("policy"), b.pop("policy")
+        assert json.dumps(a, sort_keys=True) == \
+            json.dumps(b, sort_keys=True)
+
+    def test_single_step_pvc_matches_plain_policy_under_faults(self):
+        import json
+        plain = self._chaos("power_aware")
+        unity = self._chaos(PVCPolicy(frequency_steps=(1.0,)))
+        a, b = plain.to_dict(), unity.to_dict()
+        a.pop("policy"), b.pop("policy")
+        assert json.dumps(a, sort_keys=True) == \
+            json.dumps(b, sort_keys=True)
 
     def test_base_policy_batching_hooks_are_inert(self):
         from repro.service.dispatch import DispatchPolicy
