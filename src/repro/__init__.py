@@ -36,7 +36,7 @@ from repro.service.report import ServiceReport, ServiceSweepResult
 from repro.service.spec import FleetSpec, NodeClass
 from repro.sim import Simulation
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: deprecated v1 entry points, resolved lazily (PEP 562) so importing
 #: :mod:`repro` never touches them — they warn only when actually used

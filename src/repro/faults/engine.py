@@ -115,6 +115,7 @@ def simulate_faulty_service(stream: ArrivalStream,
                             autoscaler: Optional[Autoscaler] = None,
                             retry: Optional[RetryPolicy] = None,
                             shed: Optional[ShedPolicy] = None,
+                            engine: str = "auto",
                             n_nodes: Optional[int] = None,
                             model: Optional[NodePowerModel] = None,
                             **policy_kwargs) -> ServiceReport:
@@ -122,7 +123,12 @@ def simulate_faulty_service(stream: ArrivalStream,
 
     ``fleet`` is a :class:`~repro.service.spec.FleetSpec` (default: 16
     calibrated ``commodity`` nodes); the legacy ``n_nodes=``/``model=``
-    pair still works as a deprecated homogeneous shim.  On a
+    pair still works as a deprecated homogeneous shim (removal
+    announced for 2.0).  Chaos runs always execute on the reference
+    loop — fault windows rewrite per-node history, which the vectorized
+    event core of :mod:`repro.service.engine` cannot replay — so
+    ``engine`` accepts ``"auto"``/``"loop"`` (both run the loop) and
+    rejects ``"event"``.  On a
     heterogeneous fleet every fault prices against the struck node's
     *own* power curve — a throttled wimpy node's busy draw follows the
     cubic DVFS rule on its class's idle/peak watts, a crashed node
@@ -181,6 +187,15 @@ def simulate_faulty_service(stream: ArrivalStream,
     ...                            + report.queries_lost)
     True
     """
+    if engine not in ("auto", "event", "loop"):
+        raise ServiceError(
+            f"unknown engine {engine!r}: pass 'auto', 'event', or 'loop'")
+    if engine == "event":
+        from repro.service.engine import event_core_unsupported
+        raise ServiceError(
+            "engine='event' cannot serve this configuration: "
+            f"{event_core_unsupported(None, faults=True)} "
+            "(use engine='auto' to fall back to the reference loop)")
     fleet = _resolve_fleet(fleet, n_nodes, model)
     n_nodes = fleet.n_nodes
     if len(stream) == 0:
@@ -215,10 +230,8 @@ def simulate_faulty_service(stream: ArrivalStream,
     batching = policy.batching
     dvfs = policy.dvfs
 
-    times = stream.times.tolist()
-    services = stream.service_seconds.tolist()
+    times, services, slas = stream.columns().lists()
     tenant_idx = stream.tenant_index
-    sla_of = [t.sla_p95_seconds for t in stream.tenants]
     n = len(times)
     latencies = np.full(n, np.nan)
     state = np.zeros(n, dtype=np.int8)
@@ -334,7 +347,7 @@ def simulate_faulty_service(stream: ArrivalStream,
         if type(job) is int:
             who = (job,)
             s = services[job]
-            sla = sla_of[int(tenant_idx[job])]
+            sla = slas[job]
         else:
             who = job.members
             s = job.service_seconds
@@ -549,7 +562,7 @@ def simulate_faulty_service(stream: ArrivalStream,
             if batching:
                 ti = int(tenant_idx[payload])
                 for batch in policy.offer(payload, t, services[payload],
-                                          ti, sla_of[ti]):
+                                          ti, slas[payload]):
                     execute_batch(batch, t)
                 schedule_release()
             else:
@@ -686,6 +699,7 @@ def simulate_faulty_service(stream: ArrivalStream,
         classes=rollup_classes(node_stats),
         fleet=fleet.to_dict(),
     )
+    report.engine = "loop"
     if rec is not None:
         rec.end_run(end, report)
     if mirror is not None:

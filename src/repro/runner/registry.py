@@ -141,7 +141,9 @@ def _register_builtin_experiments() -> None:
     from repro.core.experiments import figure1_point, figure2_point
     from repro.faults.experiments import chaos_point
     from repro.hardware.profiles import FIG1_DISK_COUNTS
-    from repro.service.experiments import (hetero_point, pvc_qed_point,
+    from repro.service.experiments import (hetero_point,
+                                           mega_calibration_point,
+                                           mega_point, pvc_qed_point,
                                            service_point)
     from repro.workloads.duty_cycle import run_duty_cycle
     from repro.workloads.scan_workload import run_scan
@@ -295,6 +297,58 @@ def _register_builtin_experiments() -> None:
             "min_nodes": 2,
         },
         aggregate=_pvc_qed_aggregate,
+        profile="commodity",
+    ))
+    _MEGA_DEFAULTS = {
+        "load": 30.0,
+        "profile": "commodity",
+        "pack_backlog_seconds": 0.2,
+        "admission_limit_seconds": None,
+        "target_utilization": 0.55,
+        "epoch_seconds": 30.0,
+        "min_nodes": 2,
+    }
+    register_experiment(ExperimentDef(
+        name="svc_mega",
+        title="Serving: fleet-scale dispatch sweep, 10M queries x 256 "
+              "nodes on the vectorized array-of-events core",
+        point_fn=mega_point,
+        defaults={
+            "policy": ["round_robin", "least_loaded", "power_aware"],
+            "queries": 10_000_000,
+            "nodes": 256,
+            "engine": "auto",
+            **_MEGA_DEFAULTS,
+        },
+        aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_mega_smoke",
+        title="Serving: scaled-down svc_mega for CI smoke / "
+              "observatory gating (same fleet and load shape)",
+        point_fn=mega_point,
+        defaults={
+            "policy": ["round_robin", "least_loaded", "power_aware"],
+            "queries": 200_000,
+            "nodes": 256,
+            "engine": "auto",
+            **_MEGA_DEFAULTS,
+        },
+        aggregate=_svc_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_mega_calibration",
+        title="Serving: reference loop vs. event core on one 1M-query "
+              "stream — byte-identity proof and speedup price",
+        point_fn=mega_calibration_point,
+        defaults={
+            "policy": "power_aware",
+            "queries": 1_000_000,
+            "nodes": 256,
+            **_MEGA_DEFAULTS,
+        },
         profile="commodity",
     ))
     _CHAOS_DEFAULTS = {

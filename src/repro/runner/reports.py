@@ -41,6 +41,7 @@ def _register_builtin_reports() -> None:
     from repro.core.profiler import EnergyProfile
     from repro.faults.experiments import ChaosSweepResult
     from repro.service.experiments import (HeteroSweepResult,
+                                           MegaCalibrationReport,
                                            PVCQEDSweepResult)
     from repro.service.report import ServiceReport, ServiceSweepResult
     from repro.workloads.duty_cycle import DutyCycleReport
@@ -49,7 +50,8 @@ def _register_builtin_reports() -> None:
     for cls in (ThroughputReport, ScanReport, DutyCycleReport,
                 EnergyProfile, Figure1Result, Figure2Result,
                 ScheduleReport, ServiceReport, ServiceSweepResult,
-                ChaosSweepResult, HeteroSweepResult, PVCQEDSweepResult):
+                ChaosSweepResult, HeteroSweepResult, PVCQEDSweepResult,
+                MegaCalibrationReport):
         register_report(cls)
 
 

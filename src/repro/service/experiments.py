@@ -30,6 +30,12 @@ frequency governor, the QED batcher, and their composition — and
 :class:`PVCQEDSweepResult` whose :meth:`~PVCQEDSweepResult.headline`
 states the acceptance verdict: some mechanism config strictly beats
 the baseline on Joules/query while every tenant SLA holds.
+
+:func:`mega_point` is the fleet-scale point — 10M+ queries over 256+
+nodes, tractable because ``engine="auto"`` routes onto the vectorized
+array-of-events core — and :func:`mega_calibration_point` races both
+engines on one stream, proves their reports byte-identical, and
+returns a :class:`MegaCalibrationReport` pricing the speedup.
 """
 
 from __future__ import annotations
@@ -240,6 +246,205 @@ def pvc_qed_point(config: str = "power_aware",
     ) if dispatch.autoscaled else None
     return simulate_service(stream, fleet=fleet, policy=dispatch,
                             autoscaler=autoscaler)
+
+
+def _mega_tenants(load: float):
+    """The :data:`DEFAULT_TENANTS` mix with every arrival rate
+    multiplied by ``load`` — the mega experiments keep the per-tenant
+    SLAs untouched so the stream is *denser*, not *tighter*."""
+    if load <= 0:
+        raise ServiceError("load multiplier must be positive")
+    return tuple(replace(t, rate_per_s=t.rate_per_s * load)
+                 for t in DEFAULT_TENANTS)
+
+
+def mega_point(policy: str = "power_aware",
+               queries: int = 10_000_000,
+               nodes: int = 256,
+               load: float = 30.0,
+               profile: str = "commodity",
+               engine: str = "auto",
+               pack_backlog_seconds: float = 0.2,
+               admission_limit_seconds: Optional[float] = None,
+               sla_slack_fraction: float = 1.0,
+               target_utilization: float = 0.55,
+               epoch_seconds: float = 30.0,
+               min_nodes: int = 2,
+               seed: int = 0) -> Any:
+    """Serve one fleet-scale multi-tenant stream under one policy.
+
+    The ``svc_mega`` scale point: tens of millions of queries over
+    hundreds of nodes, which is only tractable because ``engine="auto"``
+    routes eligible configurations onto the vectorized array-of-events
+    core (:mod:`repro.service.engine`).  ``load`` multiplies every
+    tenant's arrival rate so a 256-node fleet actually has work;
+    per-tenant SLAs stay at their defaults.  ``engine="loop"`` forces
+    the reference core — same report, reference wall-clock — which is
+    what the calibration experiment uses to price the speedup.
+    """
+    model = NodePowerModel.from_server(profile)
+    fleet = FleetSpec.homogeneous(nodes, model)
+    stream = build_stream(queries, tenants=_mega_tenants(load),
+                          seed=seed)
+    dispatch = _dispatch_for(policy, {
+        "pack_backlog_seconds": pack_backlog_seconds,
+        "admission_limit_seconds": admission_limit_seconds,
+        "sla_slack_fraction": sla_slack_fraction,
+    })
+    autoscaler = Autoscaler(
+        model,
+        epoch_seconds=epoch_seconds,
+        target_utilization=target_utilization,
+        min_nodes=min_nodes,
+    ) if dispatch.autoscaled else None
+    return simulate_service(stream, fleet=fleet, policy=dispatch,
+                            autoscaler=autoscaler, engine=engine)
+
+
+@dataclass
+class MegaCalibrationReport:
+    """Both engines over one stream: proof of identity, price of each.
+
+    ``loop_seconds`` and ``event_seconds`` are host wall-clock and vary
+    run to run; everything else is simulation output and deterministic.
+    The constructor refuses ``identical=False`` — a calibration whose
+    engines disagree is not a slower data point, it is a broken build,
+    and :func:`mega_calibration_point` raises before constructing one.
+    """
+
+    policy: str
+    queries: int
+    nodes: int
+    loop_seconds: float
+    event_seconds: float
+    identical: bool
+    makespan_seconds: float
+    energy_joules: float
+    queries_completed: int
+    p95_latency_seconds: float
+
+    def __post_init__(self) -> None:
+        if not self.identical:
+            raise ServiceError(
+                "calibration engines disagree: the event core must be "
+                "byte-identical to the reference loop")
+
+    @property
+    def speedup(self) -> float:
+        """Reference-loop seconds per event-core second (>= 1 is a
+        win; the svc_mega acceptance bar is 10x at the 1M point)."""
+        return (self.loop_seconds / self.event_seconds
+                if self.event_seconds > 0 else float("inf"))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"policy": self.policy,
+                "queries": self.queries,
+                "nodes": self.nodes,
+                "loop_seconds": self.loop_seconds,
+                "event_seconds": self.event_seconds,
+                "speedup": self.speedup,
+                "identical": self.identical,
+                "makespan_seconds": self.makespan_seconds,
+                "energy_joules": self.energy_joules,
+                "queries_completed": self.queries_completed,
+                "p95_latency_seconds": self.p95_latency_seconds}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MegaCalibrationReport":
+        return cls(
+            policy=str(data.get("policy", "power_aware")),
+            queries=int(data.get("queries", 0)),
+            nodes=int(data.get("nodes", 0)),
+            loop_seconds=float(data.get("loop_seconds", 0.0)),
+            event_seconds=float(data.get("event_seconds", 0.0)),
+            identical=bool(data.get("identical", True)),
+            makespan_seconds=float(data.get("makespan_seconds", 0.0)),
+            energy_joules=float(data.get("energy_joules", 0.0)),
+            queries_completed=int(data.get("queries_completed", 0)),
+            p95_latency_seconds=float(
+                data.get("p95_latency_seconds", 0.0)))
+
+
+def mega_calibration_point(policy: str = "power_aware",
+                           queries: int = 1_000_000,
+                           nodes: int = 256,
+                           load: float = 30.0,
+                           profile: str = "commodity",
+                           pack_backlog_seconds: float = 0.2,
+                           admission_limit_seconds: Optional[float] = None,
+                           sla_slack_fraction: float = 1.0,
+                           target_utilization: float = 0.55,
+                           epoch_seconds: float = 30.0,
+                           min_nodes: int = 2,
+                           seed: int = 0) -> MegaCalibrationReport:
+    """Race the reference loop against the event core on one stream.
+
+    Runs the *same* generated stream through ``engine="loop"`` and
+    ``engine="event"`` with independently built policy/autoscaler state,
+    times each with :func:`time.perf_counter`, and raises
+    :class:`ServiceError` unless the two :class:`ServiceReport` dicts
+    are byte-identical.  Wall-clock fields are host-informational (the
+    observatory never gates them); the simulation fields carried along
+    (makespan, Joules, completions, p95) are deterministic and *are*
+    gated, so a ledgered calibration still pins the physics.
+    """
+    from time import perf_counter
+
+    from repro.flightrec.context import current_recorder
+    from repro.telemetry import current_collector
+    if current_collector() is not None or current_recorder() is not None:
+        raise ServiceError(
+            "the engine calibration races engine='event' against "
+            "engine='loop', and the event core cannot host telemetry "
+            "or flight-recording observers: run svc_mega_calibration "
+            "without --trace/--record (the observatory records it "
+            "with --no-trace)")
+
+    model = NodePowerModel.from_server(profile)
+    stream = build_stream(queries, tenants=_mega_tenants(load),
+                          seed=seed)
+    knobs = {
+        "pack_backlog_seconds": pack_backlog_seconds,
+        "admission_limit_seconds": admission_limit_seconds,
+        "sla_slack_fraction": sla_slack_fraction,
+    }
+
+    def race(engine: str) -> tuple[Any, float]:
+        # fresh fleet/policy/autoscaler per engine: routers and
+        # autoscalers are stateful, and a shared instance would leak
+        # one engine's cursor into the other's run
+        fleet = FleetSpec.homogeneous(nodes, model)
+        dispatch = _dispatch_for(policy, knobs)
+        autoscaler = Autoscaler(
+            model,
+            epoch_seconds=epoch_seconds,
+            target_utilization=target_utilization,
+            min_nodes=min_nodes,
+        ) if dispatch.autoscaled else None
+        start = perf_counter()
+        report = simulate_service(stream, fleet=fleet, policy=dispatch,
+                                  autoscaler=autoscaler, engine=engine)
+        return report, perf_counter() - start
+
+    loop_report, loop_seconds = race("loop")
+    event_report, event_seconds = race("event")
+    identical = loop_report.to_dict() == event_report.to_dict()
+    if not identical:
+        raise ServiceError(
+            f"engine calibration diverged for policy {policy!r}: the "
+            "event core's report is not byte-identical to the "
+            "reference loop's")
+    return MegaCalibrationReport(
+        policy=policy,
+        queries=queries,
+        nodes=nodes,
+        loop_seconds=loop_seconds,
+        event_seconds=event_seconds,
+        identical=identical,
+        makespan_seconds=loop_report.makespan_seconds,
+        energy_joules=loop_report.energy_joules,
+        queries_completed=loop_report.queries_completed,
+        p95_latency_seconds=loop_report.p95_latency_seconds)
 
 
 def svc_aggregate(points: Sequence[Any]) -> ServiceSweepResult:

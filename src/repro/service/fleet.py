@@ -12,6 +12,16 @@ follows from the utilization-linear power identity in
 :mod:`repro.service.node`.  That is what fits 10^6 queries in seconds
 — the discrete-event engine stays out of the per-query path.
 
+Two serving cores implement that pass.  The **reference loop** below
+walks one arrival at a time through ``policy.route`` and is the
+semantic ground truth every hook (telemetry, flight recording,
+batching, faults) runs on.  The **event core**
+(:mod:`repro.service.engine`) replays the identical arithmetic over
+the stream's columnar arrays with O(log n) routing structures, ~10-30x
+faster, and is picked automatically (``engine="auto"``) whenever the
+configuration allows; the two are byte-identical by contract (see the
+engine-equivalence suite).
+
 Telemetry is mirrored, not sacrificed: when a
 :func:`repro.telemetry.capture` collector is installed, the fleet
 builds one real :class:`~repro.sim.Simulation` +
@@ -63,9 +73,9 @@ def _resolve_fleet(fleet: Optional[FleetSpec],
     if n_nodes is None and model is None:
         return FleetSpec.homogeneous(default_nodes)
     warnings.warn(
-        "the n_nodes=/model= parameters are deprecated; pass "
-        "fleet=FleetSpec.homogeneous(n, model) (or FleetSpec.of(...)) "
-        "instead",
+        "the n_nodes=/model= parameters are deprecated and will be "
+        "removed in 2.0; pass fleet=FleetSpec.homogeneous(n, model) "
+        "(or FleetSpec.of(...)) instead",
         DeprecationWarning, stacklevel=3)
     return FleetSpec.homogeneous(
         n_nodes if n_nodes is not None else default_nodes, model)
@@ -161,6 +171,7 @@ def simulate_service(stream: ArrivalStream,
                      faults=None,
                      retry=None,
                      shed=None,
+                     engine: str = "auto",
                      n_nodes: Optional[int] = None,
                      model: Optional[NodePowerModel] = None,
                      **policy_kwargs) -> ServiceReport:
@@ -168,12 +179,22 @@ def simulate_service(stream: ArrivalStream,
 
     ``fleet`` is a :class:`~repro.service.spec.FleetSpec` (default: 16
     calibrated ``commodity`` nodes); the legacy ``n_nodes=``/``model=``
-    pair still works as a deprecated shim for a homogeneous fleet.
-    ``policy`` may be a registered name or a ready
-    :class:`DispatchPolicy`.  An ``autoscaler`` is only engaged when
-    the policy declares ``autoscaled`` (packing); the all-on baselines
-    keep the whole fleet powered, which is exactly the §2.4
-    non-proportionality problem the packing policy exists to fix.
+    pair still works as a deprecated shim for a homogeneous fleet
+    (removal announced for 2.0).  ``policy`` may be a registered name
+    or a ready :class:`DispatchPolicy`.  An ``autoscaler`` is only
+    engaged when the policy declares ``autoscaled`` (packing); the
+    all-on baselines keep the whole fleet powered, which is exactly the
+    §2.4 non-proportionality problem the packing policy exists to fix.
+
+    ``engine`` selects the serving core: ``"auto"`` (default) runs the
+    vectorized event core of :mod:`repro.service.engine` whenever the
+    configuration permits and falls back to the reference loop
+    otherwise; ``"event"`` insists on the fast core (raising
+    :class:`ServiceError` with the fallback reason if the configuration
+    needs the loop); ``"loop"`` always runs the reference loop.  Both
+    engines produce byte-identical reports — the one picked is recorded
+    in :attr:`ServiceReport.engine` (runtime metadata, excluded from
+    serialization).
 
     Passing a :class:`~repro.faults.schedule.FaultSchedule` as
     ``faults`` hands the run to the chaos engine
@@ -185,6 +206,9 @@ def simulate_service(stream: ArrivalStream,
     degradation.  The returned report then carries a
     :class:`~repro.service.report.FaultStats` ledger.
     """
+    if engine not in ("auto", "event", "loop"):
+        raise ServiceError(
+            f"unknown engine {engine!r}: pass 'auto', 'event', or 'loop'")
     if faults is not None:
         from repro.faults.engine import simulate_faulty_service
         # resolve the fleet here so a deprecated n_nodes=/model= call
@@ -192,7 +216,7 @@ def simulate_service(stream: ArrivalStream,
         return simulate_faulty_service(
             stream, faults, fleet=_resolve_fleet(fleet, n_nodes, model),
             policy=policy, autoscaler=autoscaler, retry=retry, shed=shed,
-            **policy_kwargs)
+            engine=engine, **policy_kwargs)
     if retry is not None or shed is not None:
         raise ServiceError("retry/shed policies only apply to a fault "
                            "run: pass a FaultSchedule as faults=")
@@ -211,21 +235,38 @@ def simulate_service(stream: ArrivalStream,
 
     from repro.telemetry import current_collector
     collector = current_collector()
-    mirror = (None if collector is None else
-              _TelemetryMirror(collector, nodes, start_on=True))
 
     from repro.flightrec.context import current_recorder
     rec = current_recorder()
+
+    from repro.service.engine import event_core_unsupported, serve_event
+    reason = event_core_unsupported(policy, collector, rec)
+    if engine == "event" and reason is not None:
+        raise ServiceError(
+            f"engine='event' cannot serve this configuration: {reason} "
+            "(use engine='auto' to fall back to the reference loop)")
+    use_event = reason is None and engine != "loop"
+
+    cols = stream.columns()
+    n = len(cols)
+    tenant_idx = cols.tenant_index
+
+    if use_event:
+        latencies, admitted, last_completion = serve_event(
+            stream, fleet, policy, autoscaler, nodes, on_ids)
+        report = _assemble_report(stream, fleet, policy, nodes,
+                                  latencies, admitted, last_completion,
+                                  float(cols.times[-1]))
+        report.engine = "event"
+        return report
+
+    mirror = (None if collector is None else
+              _TelemetryMirror(collector, nodes, start_on=True))
     if rec is not None:
         rec.begin_run("fleet", stream, nodes, policy.name,
                       autoscaler is not None)
 
-    times = stream.times.tolist()
-    services = stream.service_seconds.tolist()
-    tenant_idx = stream.tenant_index
-    sla_of = np.array([t.sla_p95_seconds for t in stream.tenants])
-    slas = sla_of[tenant_idx].tolist()
-    n = len(times)
+    times, services, slas = cols.lists()
     latencies = np.empty(n)
     admitted = np.ones(n, dtype=bool)
 
@@ -285,7 +326,30 @@ def simulate_service(stream: ArrivalStream,
             if mirror is not None:
                 mirror.serve(i, start, node.busy_until, busy_watts)
 
-    end = max(last_completion, times[-1])
+    report = _assemble_report(stream, fleet, policy, nodes, latencies,
+                              admitted, last_completion, times[-1])
+    report.engine = "loop"
+    if rec is not None:
+        rec.end_run(report.makespan_seconds, report, latencies=latencies)
+    if mirror is not None:
+        mirror.finish(report.makespan_seconds, report)
+    return report
+
+
+def _assemble_report(stream: ArrivalStream,
+                     fleet: FleetSpec,
+                     policy: DispatchPolicy,
+                     nodes: Sequence[FleetNode],
+                     latencies: np.ndarray,
+                     admitted: np.ndarray,
+                     last_completion: float,
+                     last_arrival: float) -> ServiceReport:
+    """Finalize the fleet and fold the run into a
+    :class:`ServiceReport` — the single assembly tail both serving
+    engines share, so quantile math and energy rollups cannot drift
+    between them."""
+    tenant_idx = stream.tenant_index
+    end = max(last_completion, last_arrival)
     node_stats = [node.finalize(end) for node in nodes]
 
     lat = latencies[admitted]
@@ -312,10 +376,10 @@ def simulate_service(stream: ArrivalStream,
             sla_p95_seconds=tenant.sla_p95_seconds,
         ))
 
-    report = ServiceReport(
+    return ServiceReport(
         policy=policy.name,
-        n_nodes=n_total,
-        queries_offered=n,
+        n_nodes=len(nodes),
+        queries_offered=len(latencies),
         queries_completed=int(admitted.sum()),
         queries_rejected=int((~admitted).sum()),
         makespan_seconds=end,
@@ -330,11 +394,6 @@ def simulate_service(stream: ArrivalStream,
         classes=rollup_classes(node_stats),
         fleet=fleet.to_dict(),
     )
-    if rec is not None:
-        rec.end_run(end, report, latencies=latencies)
-    if mirror is not None:
-        mirror.finish(end, report)
-    return report
 
 
 def _serve_batched(policy: DispatchPolicy,

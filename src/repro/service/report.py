@@ -291,6 +291,11 @@ class ServiceReport:
     #: the serialized :class:`~repro.service.spec.FleetSpec` that built
     #: the fleet (provenance; None on reports from older ledgers)
     fleet: Optional[dict[str, Any]] = None
+    #: which serving core produced this report (``"event"`` or
+    #: ``"loop"``); runtime-only metadata — excluded from equality and
+    #: :meth:`to_dict`, so the two engines' reports stay byte-identical
+    #: and ledger records / cache keys never see it
+    engine: Optional[str] = field(default=None, compare=False)
 
     # -- derived metrics (empty runs raise, like core.metrics) --------
 

@@ -18,8 +18,8 @@ arrivals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -87,6 +87,43 @@ DEFAULT_TENANTS: tuple[Tenant, ...] = (
 
 
 @dataclass
+class StreamColumns:
+    """The marshalled view of a stream both serving engines consume.
+
+    ``times``/``service_seconds``/``sla_seconds`` are the numpy columns
+    the vectorized event core batches over; :meth:`lists` hands the
+    reference loop the same data as plain Python lists (scalar float
+    reads off a list are ~2x faster than off an ndarray, which is why
+    the loop engine always worked on ``.tolist()`` copies).  Built once
+    per stream and cached, so repeated simulations — and the
+    faults engine — stop re-marshalling per call.
+    """
+
+    #: arrival instants, ascending (numpy float64 view)
+    times: np.ndarray
+    #: per-arrival service demand on a speed-1 node
+    service_seconds: np.ndarray
+    #: per-arrival tenant index
+    tenant_index: np.ndarray
+    #: per-arrival p95 SLA target (tenant's, broadcast per arrival)
+    sla_seconds: np.ndarray
+    _lists: Optional[tuple[list, list, list]] = \
+        field(default=None, repr=False, compare=False)
+
+    def lists(self) -> tuple[list[float], list[float], list[float]]:
+        """``(times, service_seconds, sla_seconds)`` as Python lists —
+        the reference loop's marshalling, materialized once."""
+        if self._lists is None:
+            self._lists = (self.times.tolist(),
+                           self.service_seconds.tolist(),
+                           self.sla_seconds.tolist())
+        return self._lists
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+@dataclass
 class ArrivalStream:
     """A merged, time-ordered arrival sequence across all tenants."""
 
@@ -100,9 +137,30 @@ class ArrivalStream:
     tenant_index: np.ndarray
     #: per-arrival class index into :attr:`classes`
     class_index: np.ndarray
+    _columns: Optional[StreamColumns] = \
+        field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.times)
+
+    def columns(self) -> StreamColumns:
+        """The columnar (numpy) view of this stream, built once.
+
+        Both serving engines marshal through this accessor: the
+        vectorized event core consumes the arrays directly, the
+        reference loop takes :meth:`StreamColumns.lists`.  The
+        ``sla_seconds`` column is the per-arrival broadcast of each
+        tenant's p95 target, replacing the per-call ``sla_of`` rebuild
+        the engines used to repeat."""
+        if self._columns is None:
+            sla_of = np.array([t.sla_p95_seconds for t in self.tenants])
+            self._columns = StreamColumns(
+                times=self.times,
+                service_seconds=self.service_seconds,
+                tenant_index=self.tenant_index,
+                sla_seconds=sla_of[self.tenant_index],
+            )
+        return self._columns
 
     @property
     def duration_seconds(self) -> float:
