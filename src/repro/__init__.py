@@ -34,9 +34,14 @@ from repro.runner import ExperimentSpec, Runner, RunResult
 from repro.service.fleet import simulate_service
 from repro.service.report import ServiceReport, ServiceSweepResult
 from repro.service.spec import FleetSpec, NodeClass
+from repro.service.workload import build_diurnal_stream
 from repro.sim import Simulation
+from repro.workloads.pipelines import (BatchTenant, DatasetCatalog,
+                                       EtlReport, EtlScheduler,
+                                       EtlSweepResult, PipelineSpec, Stage,
+                                       run_pipeline)
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: deprecated v1 entry points, resolved lazily (PEP 562) so importing
 #: :mod:`repro` never touches them — they warn only when actually used
@@ -46,12 +51,18 @@ _DEPRECATED_SHIMS = {
 }
 
 __all__ = [
+    "BatchTenant",
+    "DatasetCatalog",
+    "EtlReport",
+    "EtlScheduler",
+    "EtlSweepResult",
     "ExecutionContext",
     "Executor",
     "ExperimentSpec",
     "FaultSchedule",
     "FleetSpec",
     "NodeClass",
+    "PipelineSpec",
     "QueryResult",
     "RetryPolicy",
     "RunResult",
@@ -61,9 +72,12 @@ __all__ = [
     "ServiceSweepResult",
     "ShedPolicy",
     "Simulation",
+    "Stage",
+    "build_diurnal_stream",
     "build_fault_schedule",
     "energy_efficiency",
     "perf_per_watt",
+    "run_pipeline",
     "simulate_faulty_service",
     "simulate_service",
     "run_figure1",

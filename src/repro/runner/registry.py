@@ -136,6 +136,11 @@ def _pvc_qed_aggregate(points: Sequence["PointResult"]) -> Any:
     return pvc_qed_aggregate(points)
 
 
+def _etl_aggregate(points: Sequence["PointResult"]) -> Any:
+    from repro.workloads.pipelines.experiments import etl_aggregate
+    return etl_aggregate(points)
+
+
 def _register_builtin_experiments() -> None:
     from repro.consolidation.experiments import batching_point
     from repro.core.experiments import figure1_point, figure2_point
@@ -146,6 +151,7 @@ def _register_builtin_experiments() -> None:
                                            mega_point, pvc_qed_point,
                                            service_point)
     from repro.workloads.duty_cycle import run_duty_cycle
+    from repro.workloads.pipelines.experiments import etl_point
     from repro.workloads.scan_workload import run_scan
 
     register_experiment(ExperimentDef(
@@ -297,6 +303,27 @@ def _register_builtin_experiments() -> None:
             "min_nodes": 2,
         },
         aggregate=_pvc_qed_aggregate,
+        profile="commodity",
+    ))
+    register_experiment(ExperimentDef(
+        name="svc_etl",
+        title="Serving: batch ETL as scheduled tenants — eager vs. "
+              "delayed vs. consolidated marginal Joules under "
+              "freshness SLAs (§3-§4 consolidation in time)",
+        point_fn=etl_point,
+        defaults={
+            "mode": ["none", "eager", "delayed", "consolidated"],
+            "load": [1.0, 1.6],
+            "day_seconds": 1800.0,
+            "peak_seconds": 900.0,
+            "offpeak_load": 0.15,
+            "etl_scale": 1.0,
+            "freshness_sla_seconds": 1680.0,
+            "etl_ready_seconds": None,
+            "policy": "power_aware",
+            **_SVC_DEFAULTS,
+        },
+        aggregate=_etl_aggregate,
         profile="commodity",
     ))
     _MEGA_DEFAULTS = {

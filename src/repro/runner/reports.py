@@ -45,13 +45,14 @@ def _register_builtin_reports() -> None:
                                            PVCQEDSweepResult)
     from repro.service.report import ServiceReport, ServiceSweepResult
     from repro.workloads.duty_cycle import DutyCycleReport
+    from repro.workloads.pipelines.report import EtlReport, EtlSweepResult
     from repro.workloads.scan_workload import ScanReport
     from repro.workloads.throughput import ThroughputReport
     for cls in (ThroughputReport, ScanReport, DutyCycleReport,
                 EnergyProfile, Figure1Result, Figure2Result,
                 ScheduleReport, ServiceReport, ServiceSweepResult,
                 ChaosSweepResult, HeteroSweepResult, PVCQEDSweepResult,
-                MegaCalibrationReport):
+                MegaCalibrationReport, EtlReport, EtlSweepResult):
         register_report(cls)
 
 

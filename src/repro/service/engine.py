@@ -79,7 +79,9 @@ _VECTOR_ROUTERS = (RoundRobin, LeastLoaded, PowerAwarePacking, CostAware)
 def event_core_unsupported(policy: DispatchPolicy,
                            collector=None,
                            recorder=None,
-                           faults: bool = False) -> Optional[str]:
+                           faults: bool = False,
+                           stream: Optional[ArrivalStream] = None
+                           ) -> Optional[str]:
     """Why this configuration must run on the reference loop.
 
     Returns ``None`` when the event core can serve it, else a one-line
@@ -94,6 +96,10 @@ def event_core_unsupported(policy: DispatchPolicy,
     if recorder is not None:
         return ("flight recording needs the reference loop's "
                 "event hooks")
+    if stream is not None and policy.admission_limit_seconds is not None \
+            and any(t.batch for t in stream.tenants):
+        return ("batch tenants are admission-exempt, which the event "
+                "core's vectorized admission does not model")
     router = policy.inner if type(policy) is PVCPolicy else policy
     if policy.batching or router.batching:
         return (f"policy {policy.name!r} batches arrivals "

@@ -240,7 +240,8 @@ def simulate_service(stream: ArrivalStream,
     rec = current_recorder()
 
     from repro.service.engine import event_core_unsupported, serve_event
-    reason = event_core_unsupported(policy, collector, rec)
+    reason = event_core_unsupported(policy, collector, rec,
+                                    stream=stream)
     if engine == "event" and reason is not None:
         raise ServiceError(
             f"engine='event' cannot serve this configuration: {reason} "
@@ -258,6 +259,7 @@ def simulate_service(stream: ArrivalStream,
                                   latencies, admitted, last_completion,
                                   float(cols.times[-1]))
         report.engine = "event"
+        report.latencies = latencies
         return report
 
     mirror = (None if collector is None else
@@ -273,10 +275,16 @@ def simulate_service(stream: ArrivalStream,
     epoch = autoscaler.epoch_seconds if autoscaler is not None else 0.0
     next_epoch = epoch if autoscaler is not None else float("inf")
 
+    # batch tenants (pipelines) are exempt from the admission limit:
+    # backlog rejection guards latency, and batch work has none to
+    # guard — it only has a freshness deadline
+    batch_list = (None if cols.batch_flags is None
+                  else cols.batch_flags.tolist())
+
     if policy.batching:
         last_completion = _serve_batched(
             policy, nodes, on_ids, autoscaler, mirror, rec, times,
-            services, tenant_idx, slas, latencies, admitted)
+            services, tenant_idx, slas, latencies, admitted, batch_list)
     else:
         last_completion = 0.0
         dvfs = policy.dvfs
@@ -299,7 +307,8 @@ def simulate_service(stream: ArrivalStream,
                 rec.events.append((t, "dispatch", i, int(tenant_idx[k]),
                                    k, dispatch_candidates(ctx, i)))
             node = nodes[i]
-            if not policy.admits(node, t):
+            if not policy.admits(node, t) and \
+                    (batch_list is None or not batch_list[k]):
                 admitted[k] = False
                 latencies[k] = np.nan
                 if rec is not None:
@@ -329,6 +338,7 @@ def simulate_service(stream: ArrivalStream,
     report = _assemble_report(stream, fleet, policy, nodes, latencies,
                               admitted, last_completion, times[-1])
     report.engine = "loop"
+    report.latencies = latencies
     if rec is not None:
         rec.end_run(report.makespan_seconds, report, latencies=latencies)
     if mirror is not None:
@@ -407,7 +417,8 @@ def _serve_batched(policy: DispatchPolicy,
                    tenant_idx,
                    slas: list[float],
                    latencies,
-                   admitted) -> float:
+                   admitted,
+                   batch_list: Optional[list[bool]] = None) -> float:
     """Drive a ``batching`` policy's hold/release protocol (QED).
 
     Arrivals enter the policy's hold queues through
@@ -459,7 +470,8 @@ def _serve_batched(policy: DispatchPolicy,
             rec.events.append((t, "dispatch", i, None, batch.members[0],
                                dispatch_candidates(ctx, i)))
         node = nodes[i]
-        if not policy.admits(node, t):
+        if not policy.admits(node, t) and \
+                (batch_list is None or not batch_list[batch.members[0]]):
             for k in batch.members:
                 admitted[k] = False
                 latencies[k] = np.nan

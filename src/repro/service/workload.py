@@ -51,6 +51,13 @@ class Tenant:
     rate_per_s: float
     sla_p95_seconds: float
     mix: tuple[tuple[str, float], ...]
+    #: batch tenants carry a *freshness budget* rather than a latency
+    #: SLA: their ``sla_p95_seconds`` is the planned release-to-deadline
+    #: gap, and the dispatcher's admission limit never rejects them —
+    #: batch work is infinitely patient, so backlog-based rejection
+    #: (a latency guard) does not apply.  See
+    #: :mod:`repro.workloads.pipelines.tenants`.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.rate_per_s <= 0:
@@ -107,6 +114,10 @@ class StreamColumns:
     tenant_index: np.ndarray
     #: per-arrival p95 SLA target (tenant's, broadcast per arrival)
     sla_seconds: np.ndarray
+    #: per-arrival batch flag (``Tenant.batch`` broadcast), or None
+    #: when no tenant is a batch tenant — the hot paths test for None
+    #: instead of scanning an all-False column
+    batch_flags: Optional[np.ndarray] = None
     _lists: Optional[tuple[list, list, list]] = \
         field(default=None, repr=False, compare=False)
 
@@ -154,11 +165,14 @@ class ArrivalStream:
         the engines used to repeat."""
         if self._columns is None:
             sla_of = np.array([t.sla_p95_seconds for t in self.tenants])
+            batch_of = np.array([t.batch for t in self.tenants])
             self._columns = StreamColumns(
                 times=self.times,
                 service_seconds=self.service_seconds,
                 tenant_index=self.tenant_index,
                 sla_seconds=sla_of[self.tenant_index],
+                batch_flags=(batch_of[self.tenant_index]
+                             if batch_of.any() else None),
             )
         return self._columns
 
@@ -230,6 +244,96 @@ def build_stream(queries: int,
     cls = cls[order]
     return ArrivalStream(
         tenants=tuple(tenants),
+        classes=tuple(classes),
+        times=times,
+        service_seconds=service[cls],
+        tenant_index=tenant_idx[order],
+        class_index=cls,
+    )
+
+
+def build_diurnal_stream(day_seconds: float,
+                         peak_seconds: float,
+                         tenants: Sequence[Tenant] = DEFAULT_TENANTS,
+                         classes: Sequence[QueryClass] = DEFAULT_CLASSES,
+                         peak_load: float = 1.0,
+                         offpeak_load: float = 0.15,
+                         seed: int = 0) -> ArrivalStream:
+    """Generate a two-phase diurnal multi-tenant stream.
+
+    The homogeneous-Poisson :func:`build_stream` has no notion of "off
+    peak", which makes the batch-ETL question unanswerable — delaying
+    work into a window identical to the one it left saves nothing.
+    This builder carves the ``[0, day_seconds)`` window into a *peak*
+    phase ``[0, peak_seconds)`` and a *trough* ``[peak_seconds,
+    day_seconds)``, scaling every tenant's rate by ``peak_load`` and
+    ``offpeak_load`` respectively.
+
+    Each (tenant, phase) cell is a *conditioned* Poisson process:
+    ``round(rate * load * phase_length)`` arrivals placed as sorted
+    uniforms over the phase window — exact phase boundaries,
+    deterministic counts, and per-cell ``SeedSequence([seed, i,
+    phase])`` lanes, so changing one phase's load (or adding tenants)
+    never perturbs another cell's arrivals.  Tenants whose cells are
+    all empty are dropped from the stream (per-tenant latency
+    quantiles are undefined over zero arrivals).
+    """
+    if day_seconds <= 0:
+        raise ServiceError("day_seconds must be positive")
+    if not 0 < peak_seconds < day_seconds:
+        raise ServiceError(
+            "peak_seconds must fall inside the day window")
+    if peak_load < 0 or offpeak_load < 0:
+        raise ServiceError("phase load multipliers cannot be negative")
+    if not tenants:
+        raise ServiceError("need at least one tenant")
+    class_of = {c.name: i for i, c in enumerate(classes)}
+    service = np.array([c.service_seconds for c in classes])
+    phases = ((0.0, peak_seconds, peak_load),
+              (peak_seconds, day_seconds, offpeak_load))
+
+    kept: list[Tenant] = []
+    chunks_t, chunks_c, chunks_tenant = [], [], []
+    for i, tenant in enumerate(tenants):
+        for name, _ in tenant.mix:
+            if name not in class_of:
+                raise ServiceError(
+                    f"tenant {tenant.name!r} mixes unknown query class "
+                    f"{name!r}")
+        t_chunks, c_chunks = [], []
+        for phase, (start, end, load) in enumerate(phases):
+            n = int(round(tenant.rate_per_s * load * (end - start)))
+            if n == 0:
+                continue
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, i, phase]))
+            times = start + np.sort(rng.uniform(0.0, end - start, n))
+            weights = np.array([w for _, w in tenant.mix], dtype=float)
+            picks = rng.choice(len(tenant.mix), size=n,
+                               p=weights / weights.sum())
+            cls = np.array([class_of[name]
+                            for name, _ in tenant.mix])[picks]
+            t_chunks.append(times)
+            c_chunks.append(cls)
+        if not t_chunks:
+            continue
+        n_tenant = sum(len(c) for c in t_chunks)
+        chunks_t.extend(t_chunks)
+        chunks_c.extend(c_chunks)
+        chunks_tenant.append(np.full(n_tenant, len(kept), dtype=np.int32))
+        kept.append(tenant)
+
+    if not kept:
+        raise ServiceError("diurnal stream has no arrivals: raise a "
+                           "phase load or the day length")
+    times = np.concatenate(chunks_t)
+    cls = np.concatenate(chunks_c).astype(np.int32)
+    tenant_idx = np.concatenate(chunks_tenant)
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    cls = cls[order]
+    return ArrivalStream(
+        tenants=tuple(kept),
         classes=tuple(classes),
         times=times,
         service_seconds=service[cls],

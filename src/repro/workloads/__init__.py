@@ -1,6 +1,10 @@
 """Workloads: TPC-H-style data/queries and the paper's two experiments'
 drivers (throughput test, compressed-scan microbenchmark, OLTP stream).
 
+Batch ETL pipelines — declarative stage DAGs served as scheduled
+tenants of the fleet — live in the :mod:`repro.workloads.pipelines`
+subpackage (see PIPELINES.md).
+
 The v1 drivers (``run_throughput_test``, ``run_scan_experiment``) are
 deprecated shims over the spec API; they resolve lazily (PEP 562) so
 importing this package never touches them, and they warn on use.

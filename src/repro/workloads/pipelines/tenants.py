@@ -1,0 +1,128 @@
+"""The ``BatchTenant`` adapter: a pipeline as serving-fleet tenants.
+
+:func:`~repro.service.fleet.simulate_service` knows nothing about
+DAGs — it serves a time-ordered :class:`~repro.service.workload.
+ArrivalStream` of per-tenant arrivals.  This module is the bridge: each
+pipeline stage becomes one :class:`~repro.service.workload.Tenant`
+named ``etl.<pipeline>.<stage>`` with ``batch=True``, one
+:class:`~repro.service.workload.QueryClass` shaped like the stage's
+tasks, and a *deadline-bearing* SLA — the p95 budget is the gap between
+the stage's planned release and the pipeline's freshness deadline, not
+a per-query latency target.  Batch arrivals are therefore loose enough
+that the packing dispatcher treats them as infinitely patient work, and
+the admission limit never rejects them (see
+``Tenant.batch`` in :mod:`repro.service.workload`).
+
+:meth:`BatchTenant.attach` merges the stage arrivals (placed by the
+:class:`~repro.workloads.pipelines.schedule.EtlScheduler`) into an
+interactive stream, preserving the interactive tenants' arrivals
+byte-for-byte — merging is a stable sort over concatenated columns, so
+an interactive arrival's time, service demand, and tenant identity
+never change, which is what makes the zero-interactive equivalence
+property (standalone pipeline == ``svc_etl`` at load 0) structural
+rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.service.spec import FleetSpec
+from repro.service.workload import ArrivalStream, QueryClass, Tenant
+from repro.workloads.pipelines.schedule import EtlScheduler, StagePlan
+from repro.workloads.pipelines.spec import PipelineError, PipelineSpec
+
+#: batch tenants are namespaced under this prefix
+BATCH_TENANT_PREFIX = "etl."
+
+
+def stage_tenant_name(pipeline: str, stage: str) -> str:
+    """The tenant (and query-class) name of one pipeline stage."""
+    return f"{BATCH_TENANT_PREFIX}{pipeline}.{stage}"
+
+
+@dataclass(frozen=True)
+class BatchTenant:
+    """Adapts one :class:`PipelineSpec` into schedulable tenants."""
+
+    pipeline: PipelineSpec
+    scheduler: EtlScheduler = field(default_factory=EtlScheduler)
+
+    def tenant_names(self) -> tuple[str, ...]:
+        """Stage-tenant names in pipeline declaration order."""
+        return tuple(stage_tenant_name(self.pipeline.name, s.name)
+                     for s in self.pipeline.stages)
+
+    def attach(self,
+               interactive: Optional[ArrivalStream],
+               fleet: FleetSpec) -> tuple[ArrivalStream, StagePlan]:
+        """Plan the pipeline and merge its arrivals into ``interactive``
+        (or build a batch-only stream when ``interactive`` is None).
+
+        Returns the merged stream and the :class:`StagePlan` that
+        placed the stage releases.
+        """
+        plan = self.scheduler.plan(self.pipeline, fleet)
+
+        base_tenants: tuple[Tenant, ...] = ()
+        base_classes: tuple[QueryClass, ...] = ()
+        if interactive is not None:
+            base_tenants = interactive.tenants
+            base_classes = interactive.classes
+            taken = {t.name for t in base_tenants}
+            clash = taken.intersection(self.tenant_names())
+            if clash:
+                raise PipelineError(
+                    "interactive stream already has tenants named "
+                    f"{sorted(clash)}")
+
+        tenants = list(base_tenants)
+        classes = list(base_classes)
+        chunks_t, chunks_s, chunks_tenant, chunks_cls = [], [], [], []
+        for j, stage in enumerate(self.pipeline.stages):
+            name = stage_tenant_name(self.pipeline.name, stage.name)
+            planned = plan.planned(stage.name)
+            budget = plan.deadline_seconds - planned.release_seconds
+            if budget <= 0:  # pragma: no cover - plan() guarantees slack
+                raise PipelineError(
+                    f"stage {stage.name!r} releases after the freshness "
+                    "deadline")
+            classes.append(QueryClass(name, stage.seconds_per_task))
+            tenants.append(Tenant(
+                name=name,
+                rate_per_s=stage.tasks / max(
+                    planned.duration_estimate_seconds, 1e-9),
+                sla_p95_seconds=budget,
+                mix=((name, 1.0),),
+                batch=True,
+            ))
+            times = self.scheduler.task_times(planned, stage)
+            chunks_t.append(times)
+            chunks_s.append(np.full(stage.tasks, stage.seconds_per_task))
+            chunks_tenant.append(np.full(
+                stage.tasks, len(base_tenants) + j, dtype=np.int32))
+            chunks_cls.append(np.full(
+                stage.tasks, len(base_classes) + j, dtype=np.int32))
+
+        if interactive is not None:
+            chunks_t.insert(0, interactive.times)
+            chunks_s.insert(0, interactive.service_seconds)
+            chunks_tenant.insert(0, interactive.tenant_index)
+            chunks_cls.insert(0, interactive.class_index)
+
+        times = np.concatenate(chunks_t)
+        order = np.argsort(times, kind="stable")
+        merged = ArrivalStream(
+            tenants=tuple(tenants),
+            classes=tuple(classes),
+            times=times[order],
+            service_seconds=np.concatenate(chunks_s)[order],
+            tenant_index=np.concatenate(chunks_tenant)[order].astype(
+                np.int32),
+            class_index=np.concatenate(chunks_cls)[order].astype(
+                np.int32),
+        )
+        return merged, plan

@@ -1,0 +1,73 @@
+"""Property tests: the svc_etl experiment adds nothing to the physics.
+
+``etl_point`` is orchestration sugar over ``run_pipeline`` — with zero
+interactive traffic, the eager-mode experiment point must be
+byte-identical to the same stages run standalone through
+``run_pipeline`` with the same fleet, scheduler, policy, and
+autoscaler.  Anything less means the experiment wrapper smuggles
+physics of its own.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.autoscale import Autoscaler
+from repro.service.dispatch import make_policy
+from repro.service.node import NodePowerModel
+from repro.service.spec import FleetSpec
+from repro.workloads.pipelines import (EtlScheduler, default_pipeline,
+                                       etl_point, run_pipeline)
+
+#: one calibrated model for every example — from_server spins up a
+#: throwaway simulation, too slow to rebuild per draw
+MODEL = NodePowerModel.from_server("commodity")
+
+
+def dumps(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(nodes=st.integers(min_value=4, max_value=24),
+       etl_scale=st.floats(min_value=0.5, max_value=2.0,
+                           allow_nan=False, allow_infinity=False),
+       mode=st.sampled_from(["eager", "delayed", "consolidated"]))
+def test_zero_interactive_point_matches_standalone(nodes, etl_scale, mode):
+    point = etl_point(mode=mode, load=0.0, etl_scale=etl_scale,
+                      nodes=nodes)
+
+    fleet = FleetSpec.homogeneous(nodes, MODEL)
+    scheduler = EtlScheduler(mode=mode, ready_seconds=450.0,
+                             offpeak_start_seconds=900.0)
+    policy = make_policy("power_aware", pack_backlog_seconds=0.2,
+                         admission_limit_seconds=None)
+    autoscaler = Autoscaler(MODEL, epoch_seconds=30.0,
+                            target_utilization=0.55, min_nodes=2)
+    standalone = run_pipeline(default_pipeline(etl_scale),
+                              fleet=fleet, scheduler=scheduler,
+                              policy=policy, autoscaler=autoscaler)
+
+    assert dumps(point) == dumps(standalone)
+
+
+@settings(max_examples=6, deadline=None)
+@given(mode=st.sampled_from(["none", "eager", "delayed", "consolidated"]),
+       load=st.sampled_from([0.5, 1.0, 1.6]),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_etl_point_is_deterministic(mode, load, seed):
+    a = etl_point(mode=mode, load=load, seed=seed)
+    b = etl_point(mode=mode, load=load, seed=seed)
+    assert dumps(a) == dumps(b)
+
+
+@settings(max_examples=6, deadline=None)
+@given(mode=st.sampled_from(["none", "eager", "consolidated"]),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_etl_report_roundtrips(mode, seed):
+    from repro.workloads.pipelines import EtlReport
+    report = etl_point(mode=mode, load=1.0, seed=seed)
+    back = EtlReport.from_dict(json.loads(dumps(report)))
+    assert dumps(back) == dumps(report)
+    assert back.energy_joules == report.energy_joules

@@ -9,11 +9,14 @@ import pytest
 from repro.core import metrics, profiler
 from repro.faults import engine, policies, schedule
 from repro.service import pvc, qed
+from repro.workloads.pipelines import catalog as etl_catalog
+from repro.workloads.pipelines import schedule as etl_schedule
+from repro.workloads.pipelines import spec as etl_spec
 
 
 @pytest.mark.parametrize("module",
                          [metrics, profiler, schedule, policies, engine,
-                          pvc, qed],
+                          pvc, qed, etl_spec, etl_schedule, etl_catalog],
                          ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
